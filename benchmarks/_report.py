@@ -1,0 +1,55 @@
+"""Shared reporting helper for the benchmark harness.
+
+pytest captures stdout of passing tests, so each benchmark both prints its
+experiment table (visible with ``pytest -s``) and persists it under
+``benchmarks/results/`` so the regenerated series are always available as
+plain-text artifacts (referenced from EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Sequence
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def format_rows(rows: Sequence[Dict[str, object]], min_width: int = 10) -> List[str]:
+    """Render a list of homogeneous dictionaries as aligned table lines."""
+    if not rows:
+        return ["(no rows)"]
+    header = list(rows[0].keys())
+    widths = {
+        column: max(min_width, len(column), *(len(str(row[column])) for row in rows))
+        for column in header
+    }
+    lines = ["  ".join(column.rjust(widths[column]) for column in header)]
+    lines.append("  ".join("-" * widths[column] for column in header))
+    for row in rows:
+        lines.append("  ".join(str(row[column]).rjust(widths[column]) for column in header))
+    return lines
+
+
+def emit_rows(
+    experiment_id: str,
+    title: str,
+    rows: Sequence[Dict[str, object]],
+    slug: str = "",
+) -> None:
+    """Print an experiment table and persist it to ``benchmarks/results/``."""
+    lines = [f"{experiment_id}: {title}", ""] + format_rows(rows)
+    text = "\n".join(lines)
+    print("\n" + text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    suffix = f"_{slug}" if slug else ""
+    path = RESULTS_DIR / f"{experiment_id}{suffix}.txt"
+    path.write_text(text + "\n")
+
+
+def emit_text(experiment_id: str, title: str, text: str, slug: str = "") -> None:
+    """Print and persist free-form experiment output."""
+    body = f"{experiment_id}: {title}\n\n{text}"
+    print("\n" + body)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    suffix = f"_{slug}" if slug else ""
+    (RESULTS_DIR / f"{experiment_id}{suffix}.txt").write_text(body + "\n")

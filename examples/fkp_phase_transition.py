@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""FKP phase transition: sweep alpha and watch the degree distribution change.
+
+Reproduces, as a console table and ASCII CCDF plots, the behaviour the paper
+quotes from Fabrikant et al. (§3.1): tuning the relative importance of the
+distance term against the centrality term moves the resulting tree through
+three regimes — star, power-law degrees, and exponential-tail (MST-like).
+
+Usage::
+
+    python examples/fkp_phase_transition.py [num_nodes]
+"""
+
+import math
+import sys
+
+from repro.core import alpha_regime, generate_fkp_tree
+from repro.metrics import (
+    ccdf_linear_fit_r2,
+    classify_tail,
+    degree_statistics,
+    max_degree_share,
+    topology_degree_ccdf,
+)
+
+
+def ascii_ccdf(ccdf, width: int = 50, height: int = 10) -> str:
+    """Crude log-log ASCII rendering of a CCDF (for eyeballing straightness)."""
+    points = [(k, p) for k, p in ccdf if k > 0 and p > 0]
+    if len(points) < 3:
+        return "  (too few points)"
+    xs = [math.log10(k) for k, _ in points]
+    ys = [math.log10(p) for _, p in points]
+    min_x, max_x = min(xs), max(xs)
+    min_y, max_y = min(ys), max(ys)
+    span_x = (max_x - min_x) or 1.0
+    span_y = (max_y - min_y) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in zip(xs, ys):
+        col = int((x - min_x) / span_x * (width - 1))
+        row = int((max_y - y) / span_y * (height - 1))
+        grid[row][col] = "*"
+    return "\n".join("  |" + "".join(row) for row in grid) + "\n  +" + "-" * width
+
+
+def main() -> None:
+    num_nodes = int(sys.argv[1]) if len(sys.argv) > 1 else 1000
+    alphas = [0.1, 4.0, 10.0, math.sqrt(num_nodes) / 2.0, 2.0 * math.sqrt(num_nodes), float(num_nodes)]
+
+    print(f"FKP growth with n={num_nodes} nodes (unit square, hop-to-root centrality)")
+    print(f"{'alpha':>10}  {'predicted regime':18}  {'max deg':>7}  {'hub share':>9}  "
+          f"{'measured tail':>14}  {'loglog R2':>9}  {'loglin R2':>9}")
+    print("-" * 88)
+
+    trees = {}
+    for alpha in alphas:
+        tree = generate_fkp_tree(num_nodes, alpha, seed=7)
+        trees[alpha] = tree
+        stats = degree_statistics(tree)
+        ccdf = topology_degree_ccdf(tree)
+        tail = classify_tail(tree.degree_sequence())
+        r2_loglog = ccdf_linear_fit_r2(ccdf, log_x=True, log_y=True)
+        r2_loglin = ccdf_linear_fit_r2(ccdf, log_x=False, log_y=True)
+        print(
+            f"{alpha:>10.2f}  {alpha_regime(alpha, num_nodes):18}  {stats.maximum:>7d}  "
+            f"{max_degree_share(tree):>9.3f}  {tail.verdict:>14}  {r2_loglog:>9.3f}  {r2_loglin:>9.3f}"
+        )
+
+    print("\nDegree CCDF on log-log axes (a straight line indicates a power law):")
+    for alpha in (4.0, alphas[-2]):
+        print(f"\n  alpha = {alpha:g} ({alpha_regime(alpha, num_nodes)} regime)")
+        print(ascii_ccdf(topology_degree_ccdf(trees[alpha])))
+
+    print(
+        "\nInterpretation: small alpha collapses to a star, intermediate alpha "
+        "produces a heavy (power-law-like) tail, and alpha on the order of "
+        "sqrt(n) or larger gives bounded, exponentially distributed degrees — "
+        "matching the theorem quoted in Section 3.1 of the paper."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Compare optimization-driven topologies against descriptive generators.
+
+The paper's core critique (Section 1): a generator tuned to match one metric
+(say, the degree distribution) "looks very dissimilar on others".  This example
+generates topologies of the same size from the HOT models and from the
+degree-based / structural baselines and prints the full metric suite side by
+side, highlighting where the families disagree.
+
+Usage::
+
+    python examples/generator_comparison.py [num_nodes]
+"""
+
+import sys
+
+from repro.core import generate_fkp_tree, random_instance, solve_meyerson
+from repro.generators import available_generators, make_generator
+from repro.metrics import (
+    METRIC_COLUMNS,
+    compare_topologies,
+    metric_disagreement,
+    report_table,
+)
+
+DISPLAY_COLUMNS = [
+    "mean_degree",
+    "max_degree",
+    "degree_cv",
+    "tail_verdict_code",
+    "avg_clustering",
+    "avg_path_hops",
+    "expansion_h3",
+    "distortion",
+    "cycle_edge_fraction",
+    "assortativity",
+    "fragility_gap",
+]
+
+
+def build_topologies(num_nodes: int):
+    topologies = {}
+    # Optimization-driven (HOT) models.
+    topologies["hot:fkp-powerlaw"] = generate_fkp_tree(num_nodes, alpha=4.0, seed=5)
+    topologies["hot:fkp-exponential"] = generate_fkp_tree(
+        num_nodes, alpha=2.0 * num_nodes**0.5, seed=5
+    )
+    instance = random_instance(num_nodes - 1, seed=5)
+    topologies["hot:buy-at-bulk"] = solve_meyerson(instance, seed=5).topology
+    # Descriptive baselines.
+    for name in available_generators():
+        topologies[f"desc:{name}"] = make_generator(name).generate(num_nodes, seed=5)
+    return topologies
+
+
+def main() -> None:
+    num_nodes = int(sys.argv[1]) if len(sys.argv) > 1 else 500
+    print(f"Generating {num_nodes}-node topologies from every model ...\n")
+    topologies = build_topologies(num_nodes)
+    reports = compare_topologies(topologies, sample_size=40, seed=5)
+
+    print(report_table(reports, columns=DISPLAY_COLUMNS))
+    print()
+    print("tail_verdict_code: 1 = power-law, -1 = exponential, 0 = inconclusive\n")
+
+    print("Where the families disagree most (spread = max - min across all models):")
+    spreads = sorted(
+        ((metric_disagreement(reports, metric), metric) for metric in METRIC_COLUMNS),
+        reverse=True,
+    )
+    for spread, metric in spreads[:8]:
+        if spread == spread and metric not in ("num_nodes", "num_links", "max_degree"):
+            print(f"  {metric:25s} spread = {spread:.3f}")
+
+    print(
+        "\nReading the table: the degree-based baselines (barabasi-albert, glp, plrg, inet)\n"
+        "reproduce a power-law degree tail like the intermediate-alpha FKP tree, but they\n"
+        "differ sharply from the optimization-driven designs on clustering, distortion,\n"
+        "cycle fraction, and the robust-yet-fragile gap — exactly the mismatch the paper\n"
+        "argues descriptive models cannot explain."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Incremental build-out of an access network over planning periods (paper §2.1).
+
+"The buildout of the ISP's topology tends to be incremental and ongoing."
+This example simulates a metro ISP growing over several planning periods —
+new customers arrive, existing demand grows organically, cables are upgraded
+when traffic outgrows them, and an optional per-period capital budget defers
+unprofitable attachments — and shows that the degree distribution of the
+network stays exponential at every stage, without ever being a target.
+
+Usage::
+
+    python examples/incremental_growth.py [periods]
+"""
+
+import sys
+
+from repro.core import simulate_growth
+from repro.metrics import classify_tail, validate_topology, router_access_target
+
+
+def print_trace(title: str, trace) -> None:
+    print(f"=== {title} ===")
+    header = [
+        "period", "customers", "deferred", "links", "demand",
+        "capex", "upgrades", "max_deg", "tail",
+    ]
+    print("  " + "  ".join(f"{h:>9}" for h in header))
+    for record in trace.records:
+        row = [
+            record.period,
+            record.num_customers,
+            record.deferred_customers,
+            record.num_links,
+            f"{record.total_demand:.0f}",
+            f"{record.capital_spent:.0f}",
+            record.upgrade_count,
+            record.max_degree,
+            record.tail_verdict,
+        ]
+        print("  " + "  ".join(f"{str(v):>9}" for v in row))
+    print(f"  total capital spent: {trace.total_capital():.1f}")
+    print(f"  final installed cost: {trace.final().cumulative_cost:.1f}")
+    print()
+
+
+def main() -> None:
+    periods = int(sys.argv[1]) if len(sys.argv) > 1 else 8
+
+    unconstrained = simulate_growth(
+        periods=periods, initial_customers=60, customers_per_period=30, seed=19
+    )
+    print_trace("Unconstrained growth (connect every arrival immediately)", unconstrained)
+
+    constrained = simulate_growth(
+        periods=periods,
+        initial_customers=60,
+        customers_per_period=30,
+        seed=19,
+        budget_per_period=120.0,
+    )
+    print_trace("Budget-constrained growth (120 capital units per period)", constrained)
+
+    print("=== Final-network analysis ===")
+    final = unconstrained.topology
+    verdict = classify_tail(final.degree_sequence())
+    print(f"  degree tail after {periods} periods: {verdict.verdict} "
+          f"(exponential rate {verdict.exponential.rate:.2f})")
+    report = validate_topology(final, router_access_target(), sample_size=40)
+    status = "matches" if report.passed else "does not match"
+    print(f"  the grown network {status} the router-access reference signature "
+          f"({report.pass_fraction:.0%} of checks)")
+    deferred_total = constrained.final().deferred_customers
+    print(f"  customers still waiting under the budget: {deferred_total}")
+    print(
+        "\nInterpretation: the incremental, cost-minimizing mechanism keeps producing\n"
+        "tree-like networks with bounded, exponentially distributed degrees at every\n"
+        "stage of growth — the observed statistics are a by-product of the economics,\n"
+        "exactly the explanatory story the paper advocates."
+    )
+
+
+if __name__ == "__main__":
+    main()

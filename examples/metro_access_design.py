@@ -1,0 +1,107 @@
+#!/usr/bin/env python
+"""Metro access-network design walkthrough (the paper's Section 4 problem).
+
+Designs a metropolitan access network for a population of customer sites:
+concentrator placement, buy-at-bulk feeder trees, cable provisioning, and a
+comparison of the four feeder algorithms.  Also demonstrates the footnote-7
+redundancy variant that breaks the pure tree structure.
+
+Usage::
+
+    python examples/metro_access_design.py [num_customers]
+"""
+
+import sys
+
+from repro.core import (
+    BuyAtBulkInstance,
+    design_access_network,
+    solve_direct_star,
+    solve_greedy_aggregation,
+    solve_meyerson,
+    solve_mst_routing,
+    trivial_lower_bound,
+)
+from repro.economics import default_catalog, linear_catalog
+from repro.metrics import classify_tail, degree_statistics
+from repro.routing import load_concentration, utilization_report
+from repro.workloads import metro_customers
+
+
+def compare_algorithms(num_customers: int) -> None:
+    print("=== Buy-at-bulk feeder algorithms on one metro instance ===")
+    customers, region = metro_customers(num_customers, seed=11, clustered=True)
+    instance = BuyAtBulkInstance(
+        customers=customers, core_locations=[region.center], catalog=default_catalog()
+    )
+    bound = trivial_lower_bound(instance)
+    solvers = {
+        "meyerson (randomized incremental)": lambda: solve_meyerson(instance, seed=11),
+        "greedy aggregation": lambda: solve_greedy_aggregation(instance),
+        "mst routing": lambda: solve_mst_routing(instance),
+        "direct star": lambda: solve_direct_star(instance),
+    }
+    print(f"  customers: {num_customers}, lower bound on cost: {bound:.1f}")
+    print(f"  {'algorithm':35} {'cost':>10} {'vs bound':>9} {'max deg':>8} {'tail':>13}")
+    for name, solve in solvers.items():
+        solution = solve()
+        stats = degree_statistics(solution.topology)
+        verdict = classify_tail(solution.topology.degree_sequence()).verdict
+        print(
+            f"  {name:35} {solution.total_cost():>10.1f} {solution.total_cost() / bound:>9.2f} "
+            f"{stats.maximum:>8d} {verdict:>13}"
+        )
+    print()
+
+
+def economies_of_scale_ablation(num_customers: int) -> None:
+    print("=== Why trees? Economies of scale vs linear costs ===")
+    customers, region = metro_customers(num_customers, seed=13, clustered=False)
+    for label, catalog in [("buy-at-bulk catalog", default_catalog()), ("linear costs", linear_catalog())]:
+        instance = BuyAtBulkInstance(
+            customers=customers, core_locations=[region.center], catalog=catalog
+        )
+        aggregated = solve_greedy_aggregation(instance).total_cost()
+        star = solve_direct_star(instance).total_cost()
+        winner = "aggregation" if aggregated < star else "direct star"
+        print(
+            f"  {label:20}: aggregation={aggregated:10.1f}  star={star:10.1f}  cheaper: {winner}"
+        )
+    print(
+        "  -> With economies of scale, aggregating traffic onto shared trunks wins;\n"
+        "     with purely linear costs there is no reward for aggregation.\n"
+    )
+
+
+def full_metro_design(num_customers: int) -> None:
+    print("=== Two-level metro design: concentrators + feeders ===")
+    result = design_access_network(num_customers, seed=17, feeder_algorithm="meyerson")
+    topo = result.topology
+    report = utilization_report(topo)
+    print(f"  customers: {num_customers}")
+    print(f"  concentrators installed: {len(result.concentrator_ids)}")
+    print(f"  nodes: {topo.num_nodes}, links: {topo.num_links}, tree: {topo.is_tree()}")
+    print(f"  cable cost: {topo.total_cost():.1f}, equipment cost: {result.equipment_cost:.1f}")
+    print(f"  total cost: {result.total_cost():.1f}")
+    print(f"  peak link utilization after provisioning: {report.peak_utilization:.2f}")
+    print(f"  traffic concentration (top 10% of links): {load_concentration(topo):.2f}")
+
+    redundant = design_access_network(
+        num_customers, seed=17, feeder_algorithm="meyerson", redundancy=True
+    )
+    print(
+        f"  with redundancy (footnote 7): links {topo.num_links} -> "
+        f"{redundant.topology.num_links}, tree -> {redundant.topology.is_tree()}"
+    )
+    print()
+
+
+def main() -> None:
+    num_customers = int(sys.argv[1]) if len(sys.argv) > 1 else 200
+    compare_algorithms(num_customers)
+    economies_of_scale_ablation(min(num_customers, 150))
+    full_metro_design(num_customers)
+
+
+if __name__ == "__main__":
+    main()

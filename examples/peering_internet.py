@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Build an internet out of independently designed ISPs (paper §2.3).
+
+Generates a population of national/regional/local ISPs over a shared national
+geography, establishes peering where they co-locate, and analyses the
+resulting AS graph: degree distribution, and the relationship between an AS's
+geographic coverage and its peering degree — the kind of causal explanation
+the paper argues an optimization-driven framework can offer and a purely
+descriptive generator cannot.
+
+Usage::
+
+    python examples/peering_internet.py [num_isps]
+"""
+
+import sys
+from collections import defaultdict
+
+from repro.core import InternetGenerator, PeeringPolicy
+from repro.metrics import classify_tail, degree_statistics
+
+
+def main() -> None:
+    num_isps = int(sys.argv[1]) if len(sys.argv) > 1 else 40
+    generator = InternetGenerator(
+        num_isps=num_isps,
+        num_cities=30,
+        policy=PeeringPolicy(min_shared_cities=1, probability=0.75),
+        seed=31,
+    )
+    internet = generator.generate()
+    as_graph = internet.as_graph
+
+    print(f"Generated {internet.num_ases()} ASes over a shared 30-city geography")
+    stats = degree_statistics(as_graph)
+    print(f"AS graph: {as_graph.num_links} peering links, mean degree {stats.mean:.2f}, max {stats.maximum}")
+    verdict = classify_tail(as_graph.degree_sequence()).verdict
+    print(f"AS degree tail classification: {verdict}\n")
+
+    print("AS degree vs geographic coverage (PoP cities):")
+    by_profile = defaultdict(list)
+    for name in sorted(internet.isps):
+        profile = name.split("-", 1)[-1]
+        by_profile[profile].append((internet.coverage(name), internet.as_degree(name)))
+    print(f"  {'profile':10} {'count':>5} {'mean PoPs':>10} {'mean AS degree':>15}")
+    for profile, rows in sorted(by_profile.items()):
+        mean_pops = sum(c for c, _ in rows) / len(rows)
+        mean_degree = sum(d for _, d in rows) / len(rows)
+        print(f"  {profile:10} {len(rows):>5} {mean_pops:>10.1f} {mean_degree:>15.1f}")
+
+    coverage_degree = [
+        (internet.coverage(name), internet.as_degree(name)) for name in internet.isps
+    ]
+    coverage_degree.sort(reverse=True)
+    print("\nTop 5 ASes by coverage:")
+    for coverage, degree in coverage_degree[:5]:
+        print(f"  coverage={coverage:3d} cities  ->  AS degree={degree}")
+
+    merged = internet.router_level_graph()
+    print(
+        f"\nMerged router-level graph (infrastructure only): "
+        f"{merged.num_nodes} routers, {merged.num_links} links"
+    )
+    peering_links = sum(1 for link in merged.links() if link.attributes.get("peering"))
+    print(f"Explicit inter-ISP peering links at shared cities: {peering_links}")
+    print(
+        "\nInterpretation: an AS's degree is driven by where it built infrastructure\n"
+        "(its PoP footprint), not by a preferential-attachment rule — the AS graph is a\n"
+        "by-product of many per-ISP optimization problems plus peering policy."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Render a gallery of generated topologies and degree CCDFs as SVG files.
+
+Produces, in an output directory (default ``gallery/``):
+
+* layout renderings of an FKP tree in each regime, a buy-at-bulk metro access
+  network (links colored by installed cable, widened by carried load), and a
+  Barabási–Albert baseline;
+* a combined degree-CCDF chart on log-log axes (power laws show up straight)
+  and one on log-linear axes (exponentials show up straight).
+
+Usage::
+
+    python examples/render_gallery.py [output_dir]
+"""
+
+import sys
+from pathlib import Path
+
+from repro.core import generate_fkp_tree, random_instance, solve_meyerson
+from repro.generators import BarabasiAlbertGenerator
+from repro.visualization import save_ccdf_svg, save_topology_svg
+
+
+def main() -> None:
+    output_dir = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("gallery")
+    output_dir.mkdir(parents=True, exist_ok=True)
+
+    print("Generating topologies ...")
+    fkp_star = generate_fkp_tree(300, alpha=0.3, seed=3)
+    fkp_power = generate_fkp_tree(300, alpha=4.0, seed=3)
+    fkp_expo = generate_fkp_tree(300, alpha=40.0, seed=3)
+    metro = solve_meyerson(random_instance(250, seed=3, clustered=True), seed=3).topology
+    ba = BarabasiAlbertGenerator().generate(300, seed=3)
+
+    layouts = {
+        "fkp_star.svg": (fkp_star, "FKP tree, alpha=0.3 (star regime)"),
+        "fkp_power_law.svg": (fkp_power, "FKP tree, alpha=4 (power-law regime)"),
+        "fkp_exponential.svg": (fkp_expo, "FKP tree, alpha=40 (exponential regime)"),
+        "metro_access.svg": (metro, "Buy-at-bulk metro access network"),
+        "barabasi_albert.svg": (ba, "Barabasi-Albert baseline"),
+    }
+    for filename, (topology, title) in layouts.items():
+        path = output_dir / filename
+        save_topology_svg(topology, path, title=title)
+        print(f"  wrote {path}")
+
+    ccdf_subjects = {
+        "fkp alpha=4": fkp_power,
+        "fkp alpha=40": fkp_expo,
+        "buy-at-bulk": metro,
+        "barabasi-albert": ba,
+    }
+    loglog = output_dir / "degree_ccdf_loglog.svg"
+    loglin = output_dir / "degree_ccdf_loglinear.svg"
+    save_ccdf_svg(ccdf_subjects, loglog, log_x=True, title="Degree CCDF (log-log)")
+    save_ccdf_svg(ccdf_subjects, loglin, log_x=False, title="Degree CCDF (log-linear)")
+    print(f"  wrote {loglog}")
+    print(f"  wrote {loglin}")
+    print(
+        "\nOpen the SVGs in a browser: the power-law subjects are straight on the "
+        "log-log chart, the optimization-driven access tree is straight on the "
+        "log-linear chart."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,213 @@
+"""Command-line interface for the topology generation framework.
+
+Exposes the main generators and the metric/validation suites without writing
+any Python::
+
+    python -m repro.cli generate fkp --nodes 500 --alpha 4.0 -o fkp.json
+    python -m repro.cli generate access --customers 300 --algorithm meyerson -o metro.json
+    python -m repro.cli generate isp --cities 20 -o isp.json
+    python -m repro.cli generate baseline --model barabasi-albert --nodes 500 -o ba.json
+    python -m repro.cli metrics fkp.json metro.json ba.json
+    python -m repro.cli validate metro.json --target router-access
+    python -m repro.cli scenarios
+
+Topologies are written/read as the JSON format of
+:mod:`repro.topology.serialization`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from .core.framework import BUY_AT_BULK_SOLVERS, HOTGenerator
+from .generators import available_generators, make_generator
+from .metrics.comparison import compare_topologies, report_table
+from .metrics.validation import BUILTIN_TARGETS, validate_topology
+from .topology.serialization import load_json, save_json
+from .workloads.scenarios import all_scenarios
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Optimization-driven Internet topology generation (HotNets 2003 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    generate = subparsers.add_parser("generate", help="generate a topology and save it as JSON")
+    generate_sub = generate.add_subparsers(dest="model", required=True)
+
+    fkp = generate_sub.add_parser("fkp", help="FKP tradeoff tree (paper §3.1)")
+    fkp.add_argument("--nodes", type=int, default=1000)
+    fkp.add_argument("--alpha", type=float, default=4.0)
+    fkp.add_argument("--seed", type=int, default=None)
+    fkp.add_argument("-o", "--output", required=True)
+
+    access = generate_sub.add_parser("access", help="buy-at-bulk access tree (paper §4)")
+    access.add_argument("--customers", type=int, default=200)
+    access.add_argument("--algorithm", choices=sorted(BUY_AT_BULK_SOLVERS), default="meyerson")
+    access.add_argument("--clustered", action="store_true")
+    access.add_argument("--seed", type=int, default=None)
+    access.add_argument("-o", "--output", required=True)
+
+    isp = generate_sub.add_parser("isp", help="single-ISP router-level topology (paper §2.2)")
+    isp.add_argument("--cities", type=int, default=20)
+    isp.add_argument("--objective", choices=["cost", "profit"], default="cost")
+    isp.add_argument("--customers-per-city", type=float, default=6.0)
+    isp.add_argument("--seed", type=int, default=None)
+    isp.add_argument("-o", "--output", required=True)
+
+    internet = generate_sub.add_parser("internet", help="multi-ISP AS graph (paper §2.3)")
+    internet.add_argument("--isps", type=int, default=30)
+    internet.add_argument("--cities", type=int, default=40)
+    internet.add_argument("--seed", type=int, default=None)
+    internet.add_argument("-o", "--output", required=True)
+
+    baseline = generate_sub.add_parser("baseline", help="descriptive baseline generator")
+    baseline.add_argument("--generator", choices=available_generators(), required=True)
+    baseline.add_argument("--nodes", type=int, default=1000)
+    baseline.add_argument("--seed", type=int, default=None)
+    baseline.add_argument("-o", "--output", required=True)
+
+    metrics = subparsers.add_parser("metrics", help="evaluate the metric suite on saved topologies")
+    metrics.add_argument("paths", nargs="+", help="topology JSON files")
+    metrics.add_argument("--sample-size", type=int, default=50)
+    metrics.add_argument("--spectrum", action="store_true", help="include eigenvalue summaries")
+
+    validate = subparsers.add_parser("validate", help="validate a topology against a reference target")
+    validate.add_argument("path", help="topology JSON file")
+    validate.add_argument("--target", choices=sorted(BUILTIN_TARGETS), required=True)
+    validate.add_argument("--sample-size", type=int, default=50)
+
+    growth = subparsers.add_parser("growth", help="simulate incremental multi-period build-out")
+    growth.add_argument("--periods", type=int, default=8)
+    growth.add_argument("--initial-customers", type=int, default=40)
+    growth.add_argument("--customers-per-period", type=int, default=20)
+    growth.add_argument("--budget", type=float, default=float("inf"))
+    growth.add_argument("--seed", type=int, default=None)
+    growth.add_argument("-o", "--output", default=None, help="optionally save the final topology as JSON")
+
+    render = subparsers.add_parser("render", help="render a saved topology (or its degree CCDF) as SVG")
+    render.add_argument("path", help="topology JSON file")
+    render.add_argument("-o", "--output", required=True, help="output SVG file")
+    render.add_argument("--ccdf", action="store_true", help="render the degree CCDF instead of the layout")
+    render.add_argument("--linear-x", action="store_true", help="linear (not log) degree axis for the CCDF")
+
+    subparsers.add_parser("scenarios", help="list the paper's experiments (E1–E8)")
+    return parser
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    generator = HOTGenerator(seed=getattr(args, "seed", None))
+    if args.model == "fkp":
+        topology = generator.generate_fkp_tree(args.nodes, args.alpha)
+    elif args.model == "access":
+        topology = generator.generate_access_tree(
+            args.customers, algorithm=args.algorithm, clustered=args.clustered
+        ).topology
+    elif args.model == "isp":
+        topology = generator.generate_isp(
+            num_cities=args.cities,
+            objective=args.objective,
+            customers_per_city_scale=args.customers_per_city,
+        ).topology
+    elif args.model == "internet":
+        topology = generator.generate_internet(
+            num_isps=args.isps, num_cities=args.cities
+        ).as_graph
+    elif args.model == "baseline":
+        topology = make_generator(args.generator).generate(args.nodes, seed=args.seed)
+    else:  # pragma: no cover - argparse prevents this
+        raise ValueError(f"unknown model {args.model!r}")
+    save_json(topology, args.output)
+    print(f"wrote {topology.num_nodes} nodes / {topology.num_links} links to {args.output}")
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    topologies = {path: load_json(path) for path in args.paths}
+    reports = compare_topologies(
+        topologies, include_spectrum=args.spectrum, sample_size=args.sample_size
+    )
+    print(report_table(reports))
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    topology = load_json(args.path)
+    target = BUILTIN_TARGETS[args.target]
+    report = validate_topology(topology, target, sample_size=args.sample_size)
+    print("\n".join(report.summary_lines()))
+    print(f"overall: {'PASS' if report.passed else 'FAIL'} ({report.pass_fraction:.0%} of checks)")
+    return 0 if report.passed else 1
+
+
+def _cmd_growth(args: argparse.Namespace) -> int:
+    from .core.evolution import simulate_growth
+
+    trace = simulate_growth(
+        periods=args.periods,
+        initial_customers=args.initial_customers,
+        customers_per_period=args.customers_per_period,
+        seed=args.seed,
+        budget_per_period=args.budget,
+    )
+    columns = [
+        "period", "num_customers", "deferred_customers", "num_links",
+        "capital_spent", "upgrade_count", "max_degree", "tail_verdict",
+    ]
+    print("  ".join(f"{c:>18}" for c in columns))
+    for row in trace.as_rows():
+        print("  ".join(f"{str(round(row[c], 1) if isinstance(row[c], float) else row[c]):>18}" for c in columns))
+    print(f"total capital spent: {trace.total_capital():.1f}")
+    if args.output:
+        save_json(trace.topology, args.output)
+        print(f"wrote final topology to {args.output}")
+    return 0
+
+
+def _cmd_render(args: argparse.Namespace) -> int:
+    from .visualization import save_ccdf_svg, save_topology_svg
+
+    topology = load_json(args.path)
+    if args.ccdf:
+        save_ccdf_svg({topology.name: topology}, args.output, log_x=not args.linear_x)
+    else:
+        save_topology_svg(topology, args.output)
+    print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_scenarios() -> int:
+    for scenario in all_scenarios():
+        print(f"{scenario.experiment_id}: {scenario.title}")
+        print(f"    claim: {scenario.paper_claim}")
+        print(f"    parameters: {scenario.parameters}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(list(argv) if argv is not None else None)
+    if args.command == "generate":
+        return _cmd_generate(args)
+    if args.command == "metrics":
+        return _cmd_metrics(args)
+    if args.command == "validate":
+        return _cmd_validate(args)
+    if args.command == "growth":
+        return _cmd_growth(args)
+    if args.command == "render":
+        return _cmd_render(args)
+    if args.command == "scenarios":
+        return _cmd_scenarios()
+    parser.error(f"unknown command {args.command!r}")
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,258 @@
+"""The FKP heuristically-optimized-tradeoff growth model.
+
+Section 3.1 of the paper highlights Fabrikant, Koutsoupias, and Papadimitriou
+(ICALP 2002) as "the first explicit attempt to cast topology design, modeling,
+and generation as a HOT problem": an incremental access-network model where
+each newly arriving node ``i`` (placed uniformly at random in the unit square)
+attaches to the existing node ``j`` minimizing
+
+    alpha * d(i, j) + h(j)
+
+with ``d`` the Euclidean distance (the "last mile" connection cost) and ``h``
+a centrality measure of ``j`` (by default, the hop distance to the root —
+a proxy for the transmission delay experienced once inside the network).
+
+The theorem of Fabrikant et al. that the paper leans on:
+
+* ``alpha < 1/sqrt(2)``                → the tree is a star (degree of the
+  root grows linearly with n);
+* ``alpha = Omega(sqrt(n))``           → the distance term dominates, the
+  tree approaches a Euclidean MST / dynamic nearest-neighbour tree and the
+  degree distribution has an exponential tail;
+* intermediate ``alpha`` (``>= 4`` and ``o(sqrt(n))``) → the degree
+  distribution has a power-law tail.
+
+:class:`FKPModel` implements this growth process over an arbitrary region and
+centrality function, and :func:`alpha_regime` classifies a given ``(alpha,
+n)`` pair into the three regimes so the experiments (E1) can label their
+sweeps the way the theory predicts.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..geography.points import euclidean
+from ..geography.regions import Region, unit_square
+from ..topology.graph import Topology
+from ..topology.node import NodeRole
+
+
+#: Centrality function signature: maps (model state, candidate node id) -> float.
+CentralityFunction = Callable[["FKPState", int], float]
+
+
+@dataclass
+class FKPState:
+    """Mutable growth state shared with centrality functions.
+
+    Attributes:
+        topology: The tree built so far (node ids are 0..t).
+        locations: Node locations, indexed by node id.
+        hop_to_root: Hop distance from each node to the root (node 0).
+        subtree_size: Number of descendants (including self) of each node.
+    """
+
+    topology: Topology
+    locations: List[Tuple[float, float]]
+    hop_to_root: Dict[int, int]
+    subtree_size: Dict[int, int]
+
+
+def hop_centrality(state: FKPState, node_id: int) -> float:
+    """Hop distance to the root — the centrality used in the FKP paper."""
+    return float(state.hop_to_root[node_id])
+
+
+def euclidean_centrality(state: FKPState, node_id: int) -> float:
+    """Euclidean distance from the candidate to the root node."""
+    return euclidean(state.locations[node_id], state.locations[0])
+
+
+def subtree_load_centrality(state: FKPState, node_id: int) -> float:
+    """Negative subtree size: prefer attaching under heavily loaded hubs.
+
+    This variant emphasises traffic aggregation rather than delay and is used
+    as an ablation of the centrality definition.
+    """
+    return -float(state.subtree_size[node_id])
+
+
+@dataclass(frozen=True)
+class FKPParameters:
+    """Parameters of an FKP growth run.
+
+    Attributes:
+        num_nodes: Total number of nodes to grow (including the root).
+        alpha: Weight of the Euclidean distance term in the attachment
+            objective.  May also be the string ``"sqrt"`` meaning
+            ``sqrt(num_nodes)`` (the boundary of the exponential regime).
+        seed: Random seed for node placement.
+    """
+
+    num_nodes: int
+    alpha: float
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 1:
+            raise ValueError(f"num_nodes must be >= 1, got {self.num_nodes}")
+        if self.alpha < 0:
+            raise ValueError(f"alpha must be non-negative, got {self.alpha}")
+
+
+def alpha_regime(alpha: float, num_nodes: int) -> str:
+    """Classify (alpha, n) into the FKP theorem's three regimes.
+
+    Returns one of ``"star"``, ``"power-law"``, or ``"exponential"``.
+    The boundaries follow the FKP theorem as quoted in Section 3.1: star for
+    ``alpha < 1/sqrt(2)``, exponential-tail trees once alpha grows like
+    ``sqrt(n)`` or faster, and power-law degrees in between.
+    """
+    if alpha < 1.0 / math.sqrt(2.0):
+        return "star"
+    if alpha >= math.sqrt(num_nodes):
+        return "exponential"
+    return "power-law"
+
+
+class FKPModel:
+    """Incremental FKP tree growth.
+
+    Args:
+        parameters: Growth parameters (size, alpha, seed).
+        region: Region in which nodes are placed (default: unit square).
+        centrality: Centrality function ``h(j)``; default is hop distance to
+            the root, as in the original model.
+
+    Example:
+        >>> model = FKPModel(FKPParameters(num_nodes=100, alpha=4.0, seed=1))
+        >>> topo = model.generate()
+        >>> topo.is_tree()
+        True
+    """
+
+    def __init__(
+        self,
+        parameters: FKPParameters,
+        region: Optional[Region] = None,
+        centrality: CentralityFunction = hop_centrality,
+    ) -> None:
+        self.parameters = parameters
+        self.region = region or unit_square()
+        self.centrality = centrality
+
+    def generate(self) -> Topology:
+        """Run the growth process and return the resulting tree topology.
+
+        The returned topology has node ids ``0..n-1`` in arrival order, node 0
+        is the root (role ``CORE``), every other node has role ``CUSTOMER``,
+        and the metadata records the alpha value and predicted regime.
+        """
+        params = self.parameters
+        rng = random.Random(params.seed)
+        locations = self.region.sample_uniform(params.num_nodes, rng)
+
+        topology = Topology(name=f"fkp-alpha{params.alpha:g}-n{params.num_nodes}")
+        topology.metadata["alpha"] = params.alpha
+        topology.metadata["model"] = "fkp"
+        topology.metadata["regime"] = alpha_regime(params.alpha, params.num_nodes)
+
+        topology.add_node(0, role=NodeRole.CORE, location=locations[0])
+        state = FKPState(
+            topology=topology,
+            locations=locations,
+            hop_to_root={0: 0},
+            subtree_size={0: 1},
+        )
+
+        for new_id in range(1, params.num_nodes):
+            parent = self._choose_parent(state, new_id)
+            topology.add_node(new_id, role=NodeRole.CUSTOMER, location=locations[new_id])
+            topology.add_link(parent, new_id)
+            state.hop_to_root[new_id] = state.hop_to_root[parent] + 1
+            state.subtree_size[new_id] = 1
+            self._propagate_subtree_increment(state, parent)
+        return topology
+
+    def _choose_parent(self, state: FKPState, new_id: int) -> int:
+        """Pick the existing node minimizing alpha*d(i,j) + h(j)."""
+        alpha = self.parameters.alpha
+        new_location = state.locations[new_id]
+        best_parent = 0
+        best_objective = float("inf")
+        for candidate in state.topology.node_ids():
+            objective = alpha * euclidean(
+                new_location, state.locations[candidate]
+            ) + self.centrality(state, candidate)
+            if objective < best_objective:
+                best_objective = objective
+                best_parent = candidate
+        return best_parent
+
+    def _propagate_subtree_increment(self, state: FKPState, start: int) -> None:
+        """Increment subtree sizes on the path from ``start`` up to the root."""
+        current = start
+        visited = set()
+        while True:
+            state.subtree_size[current] += 1
+            visited.add(current)
+            if current == 0:
+                break
+            hop = state.hop_to_root[current]
+            parent = None
+            for neighbor in state.topology.neighbors(current):
+                if state.hop_to_root.get(neighbor, math.inf) == hop - 1:
+                    parent = neighbor
+                    break
+            if parent is None or parent in visited:
+                break
+            current = parent
+
+
+def generate_fkp_tree(
+    num_nodes: int,
+    alpha: float,
+    seed: Optional[int] = None,
+    region: Optional[Region] = None,
+    centrality: CentralityFunction = hop_centrality,
+) -> Topology:
+    """Convenience wrapper: grow one FKP tree with the given parameters."""
+    model = FKPModel(
+        FKPParameters(num_nodes=num_nodes, alpha=alpha, seed=seed),
+        region=region,
+        centrality=centrality,
+    )
+    return model.generate()
+
+
+def alpha_sweep(
+    num_nodes: int,
+    alphas: Sequence[float],
+    seed: Optional[int] = None,
+    region: Optional[Region] = None,
+) -> Dict[float, Topology]:
+    """Grow one FKP tree per alpha value (same seed → same node placement).
+
+    This is the workload of experiment E1: the degree distribution is then
+    classified per alpha to recover the star / power-law / exponential phase
+    diagram of the FKP theorem.
+    """
+    return {
+        alpha: generate_fkp_tree(num_nodes, alpha, seed=seed, region=region)
+        for alpha in alphas
+    }
+
+
+def characteristic_alphas(num_nodes: int) -> Dict[str, float]:
+    """Representative alpha values for each regime, given the target size."""
+    return {
+        "star": 0.1,
+        "power-law-low": 4.0,
+        "power-law-high": max(4.0, math.sqrt(num_nodes) / 4.0),
+        "exponential": 2.0 * math.sqrt(num_nodes),
+        "mst-like": float(num_nodes),
+    }

@@ -1,0 +1,183 @@
+"""Objective formulations for the optimization-driven framework.
+
+Section 2.2 of the paper: "In a cost-based formulation, the basic optimization
+problem is to build a network that minimizes cost subject to satisfying
+traffic demand.  Alternatively, a profit-based formulation seeks to build a
+network that satisfies demand only up to the point of profitability."
+
+Objectives are first-class objects so that the ISP generator and the ablation
+benchmarks can swap them without touching the design algorithms.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..economics.cables import CableCatalog, default_catalog
+from ..economics.cost_model import CostModel
+from ..economics.profit_model import RevenueModel
+from ..topology.graph import Topology
+from ..topology.node import NodeRole
+
+
+class Objective(abc.ABC):
+    """Interface for objectives evaluated on candidate topologies.
+
+    Objectives are *minimized* by the design algorithms; profit-style
+    objectives therefore return the negated profit.
+    """
+
+    name: str = "objective"
+
+    @abc.abstractmethod
+    def evaluate(self, topology: Topology) -> float:
+        """Scalar score of a candidate topology (lower is better)."""
+
+    def describe(self) -> Dict[str, object]:
+        """Human-readable description used in experiment reports."""
+        return {"name": self.name}
+
+
+@dataclass
+class CostObjective(Objective):
+    """Minimize total build-out cost (cable installation + usage + equipment).
+
+    Attributes:
+        catalog: Cable catalog used to price unannotated links.
+        cost_model: Full cost model; constructed from ``catalog`` when omitted.
+        demand_penalty: Penalty per unit of unserved demand, charged for
+            customer nodes that are disconnected from every core node.  This
+            turns the "subject to satisfying traffic demand" constraint into a
+            soft penalty so that partial designs can still be compared.
+    """
+
+    catalog: CableCatalog = field(default_factory=default_catalog)
+    cost_model: Optional[CostModel] = None
+    demand_penalty: float = 1e6
+    name: str = "cost"
+
+    def __post_init__(self) -> None:
+        if self.cost_model is None:
+            self.cost_model = CostModel(catalog=self.catalog)
+        if self.demand_penalty < 0:
+            raise ValueError("demand_penalty must be non-negative")
+
+    def evaluate(self, topology: Topology) -> float:
+        cost = self.cost_model.total_cost(topology)
+        cost += self.demand_penalty * unserved_demand(topology)
+        return cost
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "cable_types": [cable.name for cable in self.catalog],
+            "demand_penalty": self.demand_penalty,
+        }
+
+
+@dataclass
+class ProfitObjective(Objective):
+    """Maximize profit: revenue from served customers minus build-out cost.
+
+    Returned values are negated profit so that the common "minimize" interface
+    applies.  Customers disconnected from every core simply earn no revenue
+    (they are not penalized beyond their lost revenue), which is exactly the
+    "build only up to the point of profitability" behaviour.
+    """
+
+    catalog: CableCatalog = field(default_factory=default_catalog)
+    revenue_model: RevenueModel = field(default_factory=RevenueModel)
+    cost_model: Optional[CostModel] = None
+    name: str = "profit"
+
+    def __post_init__(self) -> None:
+        if self.cost_model is None:
+            self.cost_model = CostModel(catalog=self.catalog)
+
+    def evaluate(self, topology: Topology) -> float:
+        cost = self.cost_model.total_cost(topology)
+        revenue = 0.0
+        served = served_customers(topology)
+        for node in topology.nodes():
+            if node.role == NodeRole.CUSTOMER and node.node_id in served:
+                revenue += self.revenue_model.revenue_for_demand(node.demand)
+        return cost - revenue
+
+    def profit(self, topology: Topology) -> float:
+        """Convenience accessor returning the (positive) profit."""
+        return -self.evaluate(topology)
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "subscription": self.revenue_model.subscription,
+            "price_per_unit": self.revenue_model.price_per_unit,
+        }
+
+
+@dataclass
+class PerformanceCostObjective(Objective):
+    """Weighted blend of cost and average customer path length to the core.
+
+    This is the multi-objective flavour the FKP model abstracts: cost of the
+    physical plant traded off against the performance (delay proxy) customers
+    experience.  Weight ``performance_weight`` plays the role of the FKP
+    ``alpha`` at the whole-network level.
+    """
+
+    catalog: CableCatalog = field(default_factory=default_catalog)
+    performance_weight: float = 1.0
+    demand_penalty: float = 1e6
+    name: str = "cost+performance"
+
+    def __post_init__(self) -> None:
+        if self.performance_weight < 0:
+            raise ValueError("performance_weight must be non-negative")
+
+    def evaluate(self, topology: Topology) -> float:
+        cost_part = CostObjective(
+            catalog=self.catalog, demand_penalty=self.demand_penalty
+        ).evaluate(topology)
+        return cost_part + self.performance_weight * mean_customer_hops(topology)
+
+
+def unserved_demand(topology: Topology) -> float:
+    """Total demand of customer nodes that cannot reach any core node."""
+    served = served_customers(topology)
+    return sum(
+        node.demand
+        for node in topology.nodes()
+        if node.role == NodeRole.CUSTOMER and node.node_id not in served
+    )
+
+
+def served_customers(topology: Topology) -> set:
+    """Identifiers of customer nodes connected (by any path) to a core node."""
+    cores = [n.node_id for n in topology.nodes() if n.role == NodeRole.CORE]
+    reachable = set()
+    for core in cores:
+        reachable.update(topology.bfs_order(core))
+    return {
+        node.node_id
+        for node in topology.nodes()
+        if node.role == NodeRole.CUSTOMER and node.node_id in reachable
+    }
+
+
+def mean_customer_hops(topology: Topology) -> float:
+    """Mean hop distance from customers to their nearest core (0 if none)."""
+    cores = [n.node_id for n in topology.nodes() if n.role == NodeRole.CORE]
+    customers = [n.node_id for n in topology.nodes() if n.role == NodeRole.CUSTOMER]
+    if not cores or not customers:
+        return 0.0
+    best: Dict[object, int] = {}
+    for core in cores:
+        for node_id, dist in topology.hop_distances(core).items():
+            if node_id not in best or dist < best[node_id]:
+                best[node_id] = dist
+    reachable = [best[c] for c in customers if c in best]
+    if not reachable:
+        return 0.0
+    return sum(reachable) / len(reachable)

@@ -1,0 +1,337 @@
+"""Inter-ISP peering and AS-graph construction (paper Section 2.3).
+
+"Given the ability to effectively model the router-level topology of an ISP
+(including the placement of peering nodes or points of presence), issues about
+peering become limited to interconnecting the router-level graphs."
+
+This module models the Internet as a collection of independently generated
+ISPs over a shared geography.  Two ISPs peer when they both have presence in a
+common city and the peering policy accepts the pair (e.g. mutual benefit from
+exchanged traffic, or a transit relationship between a large and a small ISP).
+The result is:
+
+* an **AS graph** — one node per ISP, one edge per peering relationship; and
+* an (optional) **interconnected router-level graph** — the ISP topologies
+  merged with explicit peering links between their core routers at shared
+  cities.
+
+Experiment E6 uses this module to show that an ISP's AS degree tracks its
+geographic coverage (number of PoP cities), the kind of causal explanation
+the paper argues descriptive generators cannot offer.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..geography.population import PopulationModel, synthetic_population
+from ..geography.regions import national_region
+from ..topology.graph import Topology, union
+from ..topology.node import NodeRole
+from .isp import ISPDesign, ISPGenerator, ISPParameters
+
+
+@dataclass(frozen=True)
+class ISPProfile:
+    """Size class of an ISP participating in the internetwork.
+
+    Attributes:
+        name: Profile name (``"national"``, ``"regional"``, ``"local"``).
+        coverage_fraction: Fraction of cities in which the ISP builds PoPs.
+        customers_per_city_scale: Customer density per million inhabitants.
+    """
+
+    name: str
+    coverage_fraction: float
+    customers_per_city_scale: float
+
+    def __post_init__(self) -> None:
+        if not 0 < self.coverage_fraction <= 1:
+            raise ValueError("coverage_fraction must be in (0, 1]")
+        if self.customers_per_city_scale < 0:
+            raise ValueError("customers_per_city_scale must be non-negative")
+
+
+#: Default mix of ISP size classes, national providers being the rarest.
+DEFAULT_PROFILES: Tuple[Tuple[ISPProfile, float], ...] = (
+    (ISPProfile("national", coverage_fraction=0.7, customers_per_city_scale=6.0), 0.15),
+    (ISPProfile("regional", coverage_fraction=0.3, customers_per_city_scale=4.0), 0.35),
+    (ISPProfile("local", coverage_fraction=0.1, customers_per_city_scale=3.0), 0.50),
+)
+
+
+@dataclass
+class PeeringPolicy:
+    """Decides whether two ISPs with shared cities establish a peering link.
+
+    Attributes:
+        min_shared_cities: Minimum number of common PoP cities required.
+        probability: Probability of peering once eligibility is met (models
+            business friction; 1.0 = always peer when possible).
+        transit_for_locals: If True, every local/regional ISP always obtains a
+            transit link to the nearest (by shared city) national ISP even if
+            the random draw fails, guaranteeing global reachability.
+    """
+
+    min_shared_cities: int = 1
+    probability: float = 0.8
+    transit_for_locals: bool = True
+
+    def __post_init__(self) -> None:
+        if self.min_shared_cities < 1:
+            raise ValueError("min_shared_cities must be >= 1")
+        if not 0 <= self.probability <= 1:
+            raise ValueError("probability must be in [0, 1]")
+
+
+@dataclass
+class InternetModel:
+    """A collection of ISPs, their AS-level graph, and peering locations.
+
+    Attributes:
+        isps: The individual ISP designs, keyed by AS name.
+        as_graph: One node per ISP, one link per peering relationship; node
+            demand stores the ISP's customer count, and node attributes store
+            its PoP count.
+        peering_cities: For each peering pair, the cities where they interconnect.
+    """
+
+    isps: Dict[str, ISPDesign]
+    as_graph: Topology
+    peering_cities: Dict[Tuple[str, str], List[str]]
+
+    def num_ases(self) -> int:
+        """Number of autonomous systems."""
+        return len(self.isps)
+
+    def as_degree(self, as_name: str) -> int:
+        """Peering degree of an AS."""
+        return self.as_graph.degree(as_name)
+
+    def coverage(self, as_name: str) -> int:
+        """Number of PoP cities of an AS."""
+        return len(self.isps[as_name].pop_cities)
+
+    def router_level_graph(self, include_customers: bool = False) -> Topology:
+        """Merged router-level topology with explicit inter-ISP peering links.
+
+        Node ids are prefixed by the AS name to keep ISPs disjoint.  For each
+        peering pair and each shared city, a peering link connects the two
+        ISPs' core routers in that city.
+
+        Args:
+            include_customers: Keep customer nodes (large); when False only
+                infrastructure nodes are retained.
+        """
+        prefixed: List[Topology] = []
+        for as_name, design in self.isps.items():
+            topo = design.topology
+            keep = [
+                node.node_id
+                for node in topo.nodes()
+                if include_customers or node.role != NodeRole.CUSTOMER
+            ]
+            sub = topo.subgraph(keep, name=as_name)
+            renamed = Topology(name=as_name)
+            for node in sub.nodes():
+                renamed.add_node(
+                    f"{as_name}/{node.node_id}",
+                    role=node.role,
+                    location=node.location,
+                    demand=node.demand,
+                    city=node.city,
+                )
+            for link in sub.links():
+                renamed.add_link(
+                    f"{as_name}/{link.source}",
+                    f"{as_name}/{link.target}",
+                    capacity=link.capacity,
+                    cable=link.cable,
+                    install_cost=link.install_cost,
+                    usage_cost=link.usage_cost,
+                    load=link.load,
+                )
+            prefixed.append(renamed)
+        merged = union(prefixed, name="internet-router-level")
+        for (a, b), cities in self.peering_cities.items():
+            for city in cities:
+                node_a = f"{a}/core:{city}"
+                node_b = f"{b}/core:{city}"
+                if merged.has_node(node_a) and merged.has_node(node_b):
+                    if not merged.has_link(node_a, node_b):
+                        merged.add_link(node_a, node_b, peering=True)
+        return merged
+
+
+class InternetGenerator:
+    """Generates a multi-ISP internetwork over a shared national geography.
+
+    Args:
+        num_isps: Number of ISPs (autonomous systems) to create.
+        num_cities: Number of cities in the shared geography.
+        profiles: ISP size-class mix as ``(profile, probability)`` pairs.
+        policy: Peering policy.
+        seed: Master random seed.
+        include_metros: Whether each ISP builds its metro/customer levels
+            (slower); when False only backbones are generated, which is enough
+            for AS-level analysis.
+    """
+
+    def __init__(
+        self,
+        num_isps: int = 30,
+        num_cities: int = 40,
+        profiles: Sequence[Tuple[ISPProfile, float]] = DEFAULT_PROFILES,
+        policy: Optional[PeeringPolicy] = None,
+        seed: Optional[int] = None,
+        include_metros: bool = False,
+    ) -> None:
+        if num_isps < 2:
+            raise ValueError("num_isps must be >= 2")
+        if num_cities < 2:
+            raise ValueError("num_cities must be >= 2")
+        if not profiles:
+            raise ValueError("at least one ISP profile is required")
+        total_probability = sum(weight for _, weight in profiles)
+        if total_probability <= 0:
+            raise ValueError("profile weights must sum to a positive value")
+        self.num_isps = num_isps
+        self.num_cities = num_cities
+        self.profiles = list(profiles)
+        self.policy = policy or PeeringPolicy()
+        self.seed = seed
+        self.include_metros = include_metros
+
+    # ------------------------------------------------------------------
+    def generate(self) -> InternetModel:
+        """Generate the ISPs, decide peerings, and assemble the AS graph."""
+        rng = random.Random(self.seed)
+        population = synthetic_population(
+            national_region(), self.num_cities, seed=rng.randrange(1 << 30)
+        )
+        isps: Dict[str, ISPDesign] = {}
+        for index in range(self.num_isps):
+            profile = self._sample_profile(rng)
+            as_name = f"AS{index:03d}-{profile.name}"
+            footprint = self._footprint_population(population, profile, rng)
+            parameters = ISPParameters(
+                num_cities=len(footprint.cities),
+                coverage_fraction=1.0,
+                customers_per_city_scale=(
+                    profile.customers_per_city_scale if self.include_metros else 0.0
+                ),
+                seed=rng.randrange(1 << 30),
+            )
+            generator = ISPGenerator(population=footprint, parameters=parameters)
+            isps[as_name] = generator.generate(name=as_name)
+
+        as_graph, peering_cities = self._build_as_graph(isps, rng)
+        return InternetModel(isps=isps, as_graph=as_graph, peering_cities=peering_cities)
+
+    def _footprint_population(
+        self, population, profile: ISPProfile, rng: random.Random
+    ):
+        """Restrict the shared geography to one ISP's service footprint.
+
+        National ISPs consider the largest cities nationwide; regional and
+        local ISPs pick a home city (population-weighted) and serve the cities
+        closest to it.  This is what makes different ISPs' footprints overlap
+        only where they actually co-locate, so that an AS's peering degree is
+        driven by its geographic coverage (paper §2.3).
+        """
+        from ..geography.points import euclidean
+        from ..geography.population import PopulationModel
+
+        count = max(2, int(round(profile.coverage_fraction * len(population.cities))))
+        if profile.name == "national":
+            cities = population.largest(count)
+        else:
+            home = population.sample_city(rng)
+            cities = sorted(
+                population.cities,
+                key=lambda c: euclidean(c.location, home.location),
+            )[:count]
+        return PopulationModel(region=population.region, cities=list(cities))
+
+    # ------------------------------------------------------------------
+    def _sample_profile(self, rng: random.Random) -> ISPProfile:
+        total = sum(weight for _, weight in self.profiles)
+        target = rng.random() * total
+        cumulative = 0.0
+        for profile, weight in self.profiles:
+            cumulative += weight
+            if target <= cumulative:
+                return profile
+        return self.profiles[-1][0]
+
+    def _build_as_graph(
+        self, isps: Dict[str, ISPDesign], rng: random.Random
+    ) -> Tuple[Topology, Dict[Tuple[str, str], List[str]]]:
+        policy = self.policy
+        as_graph = Topology(name="as-graph")
+        for as_name, design in isps.items():
+            as_graph.add_node(
+                as_name,
+                role=NodeRole.GENERIC,
+                demand=float(len(design.customer_nodes())),
+                pops=len(design.pop_cities),
+                profile=as_name.split("-", 1)[-1],
+            )
+
+        names = sorted(isps)
+        peering_cities: Dict[Tuple[str, str], List[str]] = {}
+        for i, a in enumerate(names):
+            cities_a: Set[str] = set(isps[a].pop_cities)
+            for b in names[i + 1 :]:
+                shared = sorted(cities_a & set(isps[b].pop_cities))
+                if len(shared) < policy.min_shared_cities:
+                    continue
+                if rng.random() <= policy.probability:
+                    as_graph.add_link(a, b, shared_cities=len(shared))
+                    peering_cities[(a, b)] = shared
+
+        if policy.transit_for_locals:
+            self._ensure_transit(as_graph, isps, peering_cities)
+        return as_graph, peering_cities
+
+    def _ensure_transit(
+        self,
+        as_graph: Topology,
+        isps: Dict[str, ISPDesign],
+        peering_cities: Dict[Tuple[str, str], List[str]],
+    ) -> None:
+        """Give every isolated non-national ISP a transit link to a national ISP."""
+        nationals = [name for name in isps if name.endswith("national")]
+        if not nationals:
+            return
+        for as_name, design in isps.items():
+            if as_name in nationals or as_graph.degree(as_name) > 0:
+                continue
+            cities = set(design.pop_cities)
+            best = max(
+                nationals,
+                key=lambda n: len(cities & set(isps[n].pop_cities)),
+            )
+            shared = sorted(cities & set(isps[best].pop_cities))
+            if not as_graph.has_link(as_name, best):
+                as_graph.add_link(as_name, best, shared_cities=len(shared), transit=True)
+                key = (as_name, best) if as_name <= best else (best, as_name)
+                peering_cities[key] = shared or list(design.pop_cities)[:1]
+
+
+def generate_internet(
+    num_isps: int = 30,
+    num_cities: int = 40,
+    seed: Optional[int] = None,
+    include_metros: bool = False,
+) -> InternetModel:
+    """One-call helper: generate an internetwork with the default profile mix."""
+    generator = InternetGenerator(
+        num_isps=num_isps,
+        num_cities=num_cities,
+        seed=seed,
+        include_metros=include_metros,
+    )
+    return generator.generate()

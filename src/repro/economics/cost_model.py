@@ -1,0 +1,110 @@
+"""Cost-based objective accounting for annotated topologies.
+
+The paper's cost-based formulation (Section 2.2) "builds a network that
+minimizes cost subject to satisfying traffic demand".  This module provides
+the cost accounting used by that formulation: per-link cost built from fixed
+installation and marginal usage components, plus equipment costs per node
+role, aggregated over a topology.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..topology.graph import Topology
+from ..topology.node import NodeRole
+from .cables import CableCatalog
+
+
+#: Default equipment cost charged per node, by role (synthetic but ordered:
+#: core routers are the most expensive, customer equipment is not paid by the ISP).
+DEFAULT_NODE_COSTS: Dict[NodeRole, float] = {
+    NodeRole.CORE: 500.0,
+    NodeRole.BACKBONE: 250.0,
+    NodeRole.PEERING: 250.0,
+    NodeRole.DISTRIBUTION: 80.0,
+    NodeRole.ACCESS: 25.0,
+    NodeRole.CUSTOMER: 0.0,
+    NodeRole.GENERIC: 0.0,
+}
+
+
+@dataclass
+class CostBreakdown:
+    """Cost of a topology broken into its components.
+
+    Attributes:
+        link_install: Total fixed installation cost over links.
+        link_usage: Total marginal usage cost (cost rate times carried load).
+        node_equipment: Total equipment cost over nodes.
+    """
+
+    link_install: float = 0.0
+    link_usage: float = 0.0
+    node_equipment: float = 0.0
+
+    @property
+    def total(self) -> float:
+        """Grand total cost."""
+        return self.link_install + self.link_usage + self.node_equipment
+
+    def as_dict(self) -> Dict[str, float]:
+        """Breakdown as a plain dictionary (for reports and benchmarks)."""
+        return {
+            "link_install": self.link_install,
+            "link_usage": self.link_usage,
+            "node_equipment": self.node_equipment,
+            "total": self.total,
+        }
+
+
+@dataclass
+class CostModel:
+    """Computes the cost of an annotated topology.
+
+    Args:
+        catalog: Optional cable catalog; when provided and a link carries no
+            explicit installation cost, the catalog's cost envelope for the
+            link's load and length is used instead.
+        node_costs: Equipment cost per node role; defaults to
+            :data:`DEFAULT_NODE_COSTS`.
+        fiber_cost_per_length: Right-of-way cost per unit length added to
+            every link regardless of cable choice.
+    """
+
+    catalog: Optional[CableCatalog] = None
+    node_costs: Dict[NodeRole, float] = field(
+        default_factory=lambda: dict(DEFAULT_NODE_COSTS)
+    )
+    fiber_cost_per_length: float = 0.0
+
+    def link_cost(self, load: float, length: float) -> float:
+        """Cost of a link carrying ``load`` over ``length`` using the catalog."""
+        if self.catalog is None:
+            raise ValueError("link_cost requires a cable catalog")
+        return self.catalog.link_cost(load, length) + self.fiber_cost_per_length * length
+
+    def evaluate(self, topology: Topology) -> CostBreakdown:
+        """Compute the cost breakdown of a topology.
+
+        Links that already carry explicit ``install_cost``/``usage_cost``
+        annotations are charged exactly those; links without annotations fall
+        back to the catalog envelope applied to their current load and length.
+        """
+        breakdown = CostBreakdown()
+        for link in topology.links():
+            annotated = link.install_cost > 0 or link.usage_cost > 0
+            if annotated or self.catalog is None:
+                breakdown.link_install += link.install_cost
+                breakdown.link_usage += link.usage_cost * link.load
+            else:
+                breakdown.link_install += self.catalog.link_cost(link.load, link.length)
+            breakdown.link_install += self.fiber_cost_per_length * link.length
+        for node in topology.nodes():
+            breakdown.node_equipment += self.node_costs.get(node.role, 0.0)
+        return breakdown
+
+    def total_cost(self, topology: Topology) -> float:
+        """Total cost of a topology (convenience wrapper over :meth:`evaluate`)."""
+        return self.evaluate(topology).total

@@ -1,0 +1,61 @@
+"""Erdős–Rényi random graphs (the null-model baseline)."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from ..topology.graph import Topology
+from .base import TopologyGenerator, ensure_connected
+
+
+@dataclass
+class ErdosRenyiGenerator(TopologyGenerator):
+    """G(n, p) random graph.
+
+    Attributes:
+        edge_probability: Probability of each possible edge; when ``None`` it
+            is chosen as ``target_mean_degree / (n - 1)``.
+        target_mean_degree: Mean degree used to derive ``p`` when
+            ``edge_probability`` is not given.
+        connect: Patch the graph into a single connected component.
+    """
+
+    edge_probability: Optional[float] = None
+    target_mean_degree: float = 4.0
+    connect: bool = True
+    name: str = "erdos-renyi"
+
+    def __post_init__(self) -> None:
+        if self.edge_probability is not None and not 0 <= self.edge_probability <= 1:
+            raise ValueError("edge_probability must be in [0, 1]")
+        if self.target_mean_degree <= 0:
+            raise ValueError("target_mean_degree must be positive")
+
+    def generate(self, num_nodes: int, seed: Optional[int] = None) -> Topology:
+        if num_nodes < 1:
+            raise ValueError("num_nodes must be >= 1")
+        rng = random.Random(seed)
+        p = self.edge_probability
+        if p is None:
+            p = min(1.0, self.target_mean_degree / max(1, num_nodes - 1))
+        topology = Topology(name=f"erdos-renyi-n{num_nodes}")
+        topology.metadata["model"] = self.name
+        topology.metadata["p"] = p
+        for node_id in range(num_nodes):
+            topology.add_node(node_id)
+        for u in range(num_nodes):
+            for v in range(u + 1, num_nodes):
+                if rng.random() < p:
+                    topology.add_link(u, v)
+        if self.connect:
+            ensure_connected(topology, rng)
+        return topology
+
+    def describe(self):
+        return {
+            "name": self.name,
+            "edge_probability": self.edge_probability,
+            "target_mean_degree": self.target_mean_degree,
+        }

@@ -1,0 +1,119 @@
+"""Inet-style degree-sequence generator (degree-based baseline).
+
+Inet [21 in the paper] generates AS-level topologies by (1) prescribing a
+power-law degree sequence, (2) building a spanning tree among nodes of degree
+at least two to guarantee connectivity, and (3) matching the remaining degree
+"stubs" preferentially by remaining degree.  This implementation follows that
+three-phase structure.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..topology.graph import Topology
+from .base import TopologyGenerator
+from .plrg import power_law_degree_sequence
+
+
+@dataclass
+class InetGenerator(TopologyGenerator):
+    """Inet-style generator: power-law degrees + spanning tree + preferential fill.
+
+    Attributes:
+        exponent: Power-law exponent of the prescribed degree sequence.
+        min_degree: Minimum prescribed degree.
+        max_degree_fraction: Cap on the maximum degree as a fraction of n.
+    """
+
+    exponent: float = 2.2
+    min_degree: int = 1
+    max_degree_fraction: float = 0.3
+    name: str = "inet"
+
+    def __post_init__(self) -> None:
+        if not 0 < self.max_degree_fraction <= 1:
+            raise ValueError("max_degree_fraction must be in (0, 1]")
+
+    def generate(self, num_nodes: int, seed: Optional[int] = None) -> Topology:
+        if num_nodes < 3:
+            raise ValueError("num_nodes must be >= 3")
+        rng = random.Random(seed)
+        max_degree = max(self.min_degree, int(self.max_degree_fraction * num_nodes))
+        degrees = power_law_degree_sequence(
+            num_nodes, self.exponent, self.min_degree, max_degree, rng
+        )
+        degrees.sort(reverse=True)
+
+        topology = Topology(name=f"inet-n{num_nodes}")
+        topology.metadata["model"] = self.name
+        topology.metadata["exponent"] = self.exponent
+        for node_id in range(num_nodes):
+            topology.add_node(node_id, target_degree=degrees[node_id])
+
+        remaining = list(degrees)
+
+        # Phase 1: spanning tree over nodes with prescribed degree >= 2,
+        # attaching each new node to a preferentially chosen earlier node.
+        core_nodes = [n for n in range(num_nodes) if degrees[n] >= 2] or [0, 1]
+        for position in range(1, len(core_nodes)):
+            node = core_nodes[position]
+            target = self._preferential_choice(core_nodes[:position], remaining, rng)
+            if target is not None and not topology.has_link(node, target):
+                topology.add_link(node, target)
+                remaining[node] -= 1
+                remaining[target] -= 1
+
+        # Phase 2: attach degree-1 nodes to the core preferentially.
+        leaf_nodes = [n for n in range(num_nodes) if degrees[n] < 2 and n not in core_nodes]
+        for node in leaf_nodes:
+            target = self._preferential_choice(core_nodes, remaining, rng)
+            if target is not None and not topology.has_link(node, target):
+                topology.add_link(node, target)
+                remaining[node] -= 1
+                remaining[target] -= 1
+
+        # Phase 3: consume remaining stubs by preferential matching.
+        attempts = 0
+        max_attempts = 20 * num_nodes
+        while attempts < max_attempts:
+            attempts += 1
+            open_nodes = [n for n in range(num_nodes) if remaining[n] > 0]
+            if len(open_nodes) < 2:
+                break
+            u = self._preferential_choice(open_nodes, remaining, rng)
+            v = self._preferential_choice([n for n in open_nodes if n != u], remaining, rng)
+            if u is None or v is None:
+                break
+            if not topology.has_link(u, v):
+                topology.add_link(u, v)
+                remaining[u] -= 1
+                remaining[v] -= 1
+        return topology
+
+    @staticmethod
+    def _preferential_choice(
+        candidates: List[int], remaining: List[int], rng: random.Random
+    ) -> Optional[int]:
+        """Pick a candidate with probability proportional to its remaining degree."""
+        if not candidates:
+            return None
+        weights = [max(remaining[c], 1) for c in candidates]
+        total = sum(weights)
+        target = rng.random() * total
+        cumulative = 0.0
+        for candidate, weight in zip(candidates, weights):
+            cumulative += weight
+            if target <= cumulative:
+                return candidate
+        return candidates[-1]
+
+    def describe(self):
+        return {
+            "name": self.name,
+            "exponent": self.exponent,
+            "min_degree": self.min_degree,
+            "max_degree_fraction": self.max_degree_fraction,
+        }

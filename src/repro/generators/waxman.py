@@ -1,0 +1,70 @@
+"""Waxman random geometric graphs (structural baseline).
+
+The Waxman model places nodes uniformly in a region and connects each pair
+with probability ``beta * exp(-d / (alpha_w * L))`` where ``d`` is their
+distance and ``L`` the region diagonal.  It is the classic "structural"
+generator the paper's reference [33] (Zegura et al.) compares against.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from ..geography.points import euclidean
+from ..geography.regions import Region, unit_square
+from ..topology.graph import Topology
+from .base import TopologyGenerator, ensure_connected
+
+
+@dataclass
+class WaxmanGenerator(TopologyGenerator):
+    """Waxman (1988) random geometric graph generator.
+
+    Attributes:
+        alpha_w: Distance decay scale (larger = longer links more likely).
+        beta: Overall link probability scale.
+        region: Placement region (unit square by default).
+        connect: Patch the result into one connected component.
+    """
+
+    alpha_w: float = 0.2
+    beta: float = 0.4
+    region: Optional[Region] = None
+    connect: bool = True
+    name: str = "waxman"
+
+    def __post_init__(self) -> None:
+        if self.alpha_w <= 0:
+            raise ValueError("alpha_w must be positive")
+        if not 0 < self.beta <= 1:
+            raise ValueError("beta must be in (0, 1]")
+
+    def generate(self, num_nodes: int, seed: Optional[int] = None) -> Topology:
+        if num_nodes < 1:
+            raise ValueError("num_nodes must be >= 1")
+        rng = random.Random(seed)
+        region = self.region or unit_square()
+        locations = region.sample_uniform(num_nodes, rng)
+        diagonal = region.diagonal
+
+        topology = Topology(name=f"waxman-n{num_nodes}")
+        topology.metadata["model"] = self.name
+        topology.metadata["alpha_w"] = self.alpha_w
+        topology.metadata["beta"] = self.beta
+        for node_id in range(num_nodes):
+            topology.add_node(node_id, location=locations[node_id])
+        for u in range(num_nodes):
+            for v in range(u + 1, num_nodes):
+                distance = euclidean(locations[u], locations[v])
+                probability = self.beta * math.exp(-distance / (self.alpha_w * diagonal))
+                if rng.random() < probability:
+                    topology.add_link(u, v)
+        if self.connect:
+            ensure_connected(topology, rng)
+        return topology
+
+    def describe(self):
+        return {"name": self.name, "alpha_w": self.alpha_w, "beta": self.beta}

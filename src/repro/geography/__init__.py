@@ -1,0 +1,51 @@
+"""Geographic substrate: points, regions, population centers, traffic demand."""
+
+from .points import (
+    Point,
+    bounding_box,
+    centroid,
+    clustered_points,
+    euclidean,
+    grid_points,
+    manhattan,
+    nearest_point_index,
+    pairwise_distances,
+    random_points,
+    total_length,
+)
+from .regions import Region, metro_region, national_region, unit_square
+from .population import (
+    City,
+    PopulationModel,
+    population_weights,
+    synthetic_population,
+    zipf_populations,
+)
+from .demand import DemandMatrix, access_demands, gravity_demand, uniform_demand
+
+__all__ = [
+    "Point",
+    "bounding_box",
+    "centroid",
+    "clustered_points",
+    "euclidean",
+    "grid_points",
+    "manhattan",
+    "nearest_point_index",
+    "pairwise_distances",
+    "random_points",
+    "total_length",
+    "Region",
+    "metro_region",
+    "national_region",
+    "unit_square",
+    "City",
+    "PopulationModel",
+    "population_weights",
+    "synthetic_population",
+    "zipf_populations",
+    "DemandMatrix",
+    "access_demands",
+    "gravity_demand",
+    "uniform_demand",
+]

@@ -1,0 +1,162 @@
+"""Traffic demand models.
+
+The paper (Section 2.2) identifies traffic demand as "one of the key inputs"
+to the optimization formulation and proposes deriving it from population
+centers dispersed over a geographic region.  This module implements the
+standard gravity model — demand between two cities proportional to the
+product of their populations divided by a power of their distance — plus a
+uniform model used as an ablation baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from .points import euclidean
+from .population import City
+
+
+@dataclass
+class DemandMatrix:
+    """A symmetric traffic demand matrix keyed by endpoint names.
+
+    Demands are stored once per unordered pair; :meth:`demand` is symmetric.
+    """
+
+    endpoints: List[str]
+    _demands: Dict[Tuple[str, str], float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if len(self.endpoints) != len(set(self.endpoints)):
+            raise ValueError("endpoint names must be unique")
+        self._index = set(self.endpoints)
+
+    @staticmethod
+    def _key(a: str, b: str) -> Tuple[str, str]:
+        return (a, b) if a <= b else (b, a)
+
+    def set_demand(self, a: str, b: str, volume: float) -> None:
+        """Set the demand between two distinct endpoints."""
+        if a == b:
+            raise ValueError("self-demand is not allowed")
+        if a not in self._index or b not in self._index:
+            raise KeyError(f"unknown endpoint in pair ({a!r}, {b!r})")
+        if volume < 0:
+            raise ValueError(f"demand must be non-negative, got {volume}")
+        self._demands[self._key(a, b)] = volume
+
+    def demand(self, a: str, b: str) -> float:
+        """Demand between two endpoints (0 if never set)."""
+        if a == b:
+            return 0.0
+        return self._demands.get(self._key(a, b), 0.0)
+
+    def pairs(self) -> Iterator[Tuple[str, str, float]]:
+        """Iterate over ``(a, b, volume)`` for all non-zero pairs."""
+        for (a, b), volume in self._demands.items():
+            if volume > 0:
+                yield a, b, volume
+
+    def total(self) -> float:
+        """Total demand over all pairs."""
+        return sum(v for v in self._demands.values() if v > 0)
+
+    def outgoing(self, endpoint: str) -> float:
+        """Total demand involving ``endpoint``."""
+        if endpoint not in self._index:
+            raise KeyError(f"unknown endpoint {endpoint!r}")
+        return sum(v for (a, b), v in self._demands.items() if endpoint in (a, b))
+
+    def top_pairs(self, k: int) -> List[Tuple[str, str, float]]:
+        """The ``k`` largest demand pairs, largest first."""
+        ranked = sorted(self.pairs(), key=lambda item: item[2], reverse=True)
+        return ranked[:k]
+
+    def scaled(self, factor: float) -> "DemandMatrix":
+        """Return a copy with every demand multiplied by ``factor``."""
+        if factor < 0:
+            raise ValueError("factor must be non-negative")
+        scaled = DemandMatrix(endpoints=list(self.endpoints))
+        for a, b, volume in self.pairs():
+            scaled.set_demand(a, b, volume * factor)
+        return scaled
+
+
+def gravity_demand(
+    cities: Sequence[City],
+    total_volume: float = 1000.0,
+    distance_exponent: float = 1.0,
+    min_distance: Optional[float] = None,
+) -> DemandMatrix:
+    """Build a gravity-model demand matrix over a set of cities.
+
+    The raw demand between cities ``i`` and ``j`` is
+    ``population_i * population_j / distance(i, j)**distance_exponent``; the
+    matrix is then normalized so all pairwise demands sum to ``total_volume``.
+
+    Args:
+        cities: Population centers.
+        total_volume: Total traffic volume to distribute over all pairs.
+        distance_exponent: How strongly distance suppresses demand (0 makes
+            demand purely population-product driven).
+        min_distance: Lower bound on the distance used in the denominator,
+            protecting against co-located cities.  Defaults to 1% of the
+            largest pairwise distance.
+    """
+    if len(cities) < 2:
+        raise ValueError("gravity demand requires at least two cities")
+    if total_volume < 0:
+        raise ValueError("total_volume must be non-negative")
+    names = [c.name for c in cities]
+    matrix = DemandMatrix(endpoints=names)
+
+    distances = []
+    for i in range(len(cities)):
+        for j in range(i + 1, len(cities)):
+            distances.append(euclidean(cities[i].location, cities[j].location))
+    max_distance = max(distances) if distances else 1.0
+    floor = min_distance if min_distance is not None else 0.01 * max(max_distance, 1e-12)
+    floor = max(floor, 1e-12)
+
+    raw: Dict[Tuple[int, int], float] = {}
+    for i in range(len(cities)):
+        for j in range(i + 1, len(cities)):
+            distance = max(euclidean(cities[i].location, cities[j].location), floor)
+            raw[(i, j)] = (
+                cities[i].population * cities[j].population / (distance**distance_exponent)
+            )
+    total_raw = sum(raw.values())
+    if total_raw <= 0:
+        return matrix
+    for (i, j), value in raw.items():
+        matrix.set_demand(names[i], names[j], total_volume * value / total_raw)
+    return matrix
+
+
+def uniform_demand(names: Sequence[str], total_volume: float = 1000.0) -> DemandMatrix:
+    """Uniform all-pairs demand (ablation baseline for the gravity model)."""
+    names = list(names)
+    if len(names) < 2:
+        raise ValueError("uniform demand requires at least two endpoints")
+    matrix = DemandMatrix(endpoints=names)
+    num_pairs = len(names) * (len(names) - 1) // 2
+    per_pair = total_volume / num_pairs
+    for i in range(len(names)):
+        for j in range(i + 1, len(names)):
+            matrix.set_demand(names[i], names[j], per_pair)
+    return matrix
+
+
+def access_demands(
+    populations: Sequence[float], per_capita: float = 0.001
+) -> List[float]:
+    """Access-link demand of customer sites proportional to served population."""
+    if per_capita < 0:
+        raise ValueError("per_capita must be non-negative")
+    demands = []
+    for population in populations:
+        if population < 0:
+            raise ValueError("populations must be non-negative")
+        demands.append(population * per_capita)
+    return demands

@@ -1,0 +1,176 @@
+"""Geometric primitives: points, distances, and random point placement.
+
+The optimization-driven generators place customers, routers, and population
+centers in a two-dimensional region; this module provides the geometric
+substrate they share.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class Point:
+    """An immutable point in the plane."""
+
+    x: float
+    y: float
+
+    def distance_to(self, other: "Point") -> float:
+        """Euclidean distance to another point."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def manhattan_distance_to(self, other: "Point") -> float:
+        """L1 (street-grid) distance to another point."""
+        return abs(self.x - other.x) + abs(self.y - other.y)
+
+    def midpoint(self, other: "Point") -> "Point":
+        """Midpoint of the segment between this point and ``other``."""
+        return Point((self.x + other.x) / 2.0, (self.y + other.y) / 2.0)
+
+    def translated(self, dx: float, dy: float) -> "Point":
+        """Point shifted by ``(dx, dy)``."""
+        return Point(self.x + dx, self.y + dy)
+
+    def as_tuple(self) -> Tuple[float, float]:
+        """The point as an ``(x, y)`` tuple."""
+        return (self.x, self.y)
+
+
+def euclidean(a: Tuple[float, float], b: Tuple[float, float]) -> float:
+    """Euclidean distance between two ``(x, y)`` tuples."""
+    return math.hypot(a[0] - b[0], a[1] - b[1])
+
+
+def manhattan(a: Tuple[float, float], b: Tuple[float, float]) -> float:
+    """Manhattan (L1) distance between two ``(x, y)`` tuples."""
+    return abs(a[0] - b[0]) + abs(a[1] - b[1])
+
+
+def centroid(points: Sequence[Tuple[float, float]]) -> Tuple[float, float]:
+    """Arithmetic centroid of a non-empty sequence of points."""
+    if not points:
+        raise ValueError("cannot compute the centroid of an empty point set")
+    sx = sum(p[0] for p in points)
+    sy = sum(p[1] for p in points)
+    return (sx / len(points), sy / len(points))
+
+
+def bounding_box(
+    points: Sequence[Tuple[float, float]],
+) -> Tuple[float, float, float, float]:
+    """Axis-aligned bounding box ``(min_x, min_y, max_x, max_y)``."""
+    if not points:
+        raise ValueError("cannot compute the bounding box of an empty point set")
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    return (min(xs), min(ys), max(xs), max(ys))
+
+
+def nearest_point_index(
+    target: Tuple[float, float], candidates: Sequence[Tuple[float, float]]
+) -> int:
+    """Index of the candidate closest (Euclidean) to ``target``."""
+    if not candidates:
+        raise ValueError("candidates must be non-empty")
+    best_index = 0
+    best_distance = euclidean(target, candidates[0])
+    for index in range(1, len(candidates)):
+        distance = euclidean(target, candidates[index])
+        if distance < best_distance:
+            best_distance = distance
+            best_index = index
+    return best_index
+
+
+def pairwise_distances(
+    points: Sequence[Tuple[float, float]],
+) -> List[List[float]]:
+    """Full symmetric Euclidean distance matrix for a point list."""
+    n = len(points)
+    matrix = [[0.0] * n for _ in range(n)]
+    for i in range(n):
+        for j in range(i + 1, n):
+            distance = euclidean(points[i], points[j])
+            matrix[i][j] = distance
+            matrix[j][i] = distance
+    return matrix
+
+
+def random_points(
+    n: int,
+    rng: Optional[random.Random] = None,
+    width: float = 1.0,
+    height: float = 1.0,
+    origin: Tuple[float, float] = (0.0, 0.0),
+) -> List[Tuple[float, float]]:
+    """Draw ``n`` points uniformly at random from a rectangle.
+
+    Args:
+        n: Number of points to draw.
+        rng: Random source (a fresh unseeded one is used when omitted).
+        width: Rectangle width.
+        height: Rectangle height.
+        origin: Lower-left corner of the rectangle.
+    """
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    rng = rng or random.Random()
+    ox, oy = origin
+    return [(ox + rng.random() * width, oy + rng.random() * height) for _ in range(n)]
+
+
+def clustered_points(
+    n: int,
+    num_clusters: int,
+    rng: Optional[random.Random] = None,
+    width: float = 1.0,
+    height: float = 1.0,
+    spread: float = 0.05,
+    origin: Tuple[float, float] = (0.0, 0.0),
+) -> List[Tuple[float, float]]:
+    """Draw ``n`` points from Gaussian clusters with random centers.
+
+    Used to model customers concentrated around population centers (paper
+    Section 2.1: "most customers reside in the big cities").  Points falling
+    outside the rectangle are clamped to its boundary.
+    """
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    if num_clusters < 1:
+        raise ValueError(f"num_clusters must be >= 1, got {num_clusters}")
+    rng = rng or random.Random()
+    ox, oy = origin
+    centers = random_points(num_clusters, rng, width, height, origin)
+    points: List[Tuple[float, float]] = []
+    for _ in range(n):
+        cx, cy = centers[rng.randrange(num_clusters)]
+        x = min(ox + width, max(ox, rng.gauss(cx, spread * width)))
+        y = min(oy + height, max(oy, rng.gauss(cy, spread * height)))
+        points.append((x, y))
+    return points
+
+
+def grid_points(
+    rows: int, cols: int, width: float = 1.0, height: float = 1.0
+) -> List[Tuple[float, float]]:
+    """Regular grid of ``rows x cols`` points covering a rectangle."""
+    if rows < 1 or cols < 1:
+        raise ValueError("rows and cols must be >= 1")
+    points = []
+    for r in range(rows):
+        for c in range(cols):
+            x = (c + 0.5) * width / cols
+            y = (r + 0.5) * height / rows
+            points.append((x, y))
+    return points
+
+
+def total_length(points: Iterable[Tuple[float, float]]) -> float:
+    """Length of the polyline visiting ``points`` in order."""
+    points = list(points)
+    return sum(euclidean(points[i], points[i + 1]) for i in range(len(points) - 1))

@@ -1,0 +1,122 @@
+"""Geographic regions: rectangles with named extents and grid decomposition.
+
+A :class:`Region` models the service footprint of an ISP — a metro area for
+the access-design problem (paper Section 4) or a national footprint for the
+backbone-design problem (Section 2.2).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from .points import clustered_points, random_points
+
+
+@dataclass(frozen=True)
+class Region:
+    """An axis-aligned rectangular service region.
+
+    Attributes:
+        name: Human-readable name.
+        width: Extent in the x direction (e.g. kilometres).
+        height: Extent in the y direction.
+        origin: Lower-left corner coordinates.
+    """
+
+    name: str = "region"
+    width: float = 1.0
+    height: float = 1.0
+    origin: Tuple[float, float] = (0.0, 0.0)
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.height <= 0:
+            raise ValueError("region width and height must be positive")
+
+    @property
+    def area(self) -> float:
+        """Area of the region."""
+        return self.width * self.height
+
+    @property
+    def center(self) -> Tuple[float, float]:
+        """Center point of the region."""
+        ox, oy = self.origin
+        return (ox + self.width / 2.0, oy + self.height / 2.0)
+
+    @property
+    def diagonal(self) -> float:
+        """Length of the region's diagonal (the maximum possible distance)."""
+        return (self.width**2 + self.height**2) ** 0.5
+
+    def contains(self, point: Tuple[float, float]) -> bool:
+        """True if ``point`` lies inside (or on the boundary of) the region."""
+        ox, oy = self.origin
+        x, y = point
+        return ox <= x <= ox + self.width and oy <= y <= oy + self.height
+
+    def clamp(self, point: Tuple[float, float]) -> Tuple[float, float]:
+        """Project a point onto the region."""
+        ox, oy = self.origin
+        x = min(ox + self.width, max(ox, point[0]))
+        y = min(oy + self.height, max(oy, point[1]))
+        return (x, y)
+
+    def sample_uniform(
+        self, n: int, rng: Optional[random.Random] = None
+    ) -> List[Tuple[float, float]]:
+        """Draw ``n`` points uniformly at random inside the region."""
+        return random_points(n, rng, self.width, self.height, self.origin)
+
+    def sample_clustered(
+        self,
+        n: int,
+        num_clusters: int,
+        rng: Optional[random.Random] = None,
+        spread: float = 0.05,
+    ) -> List[Tuple[float, float]]:
+        """Draw ``n`` points clustered around random centers inside the region."""
+        return clustered_points(
+            n, num_clusters, rng, self.width, self.height, spread, self.origin
+        )
+
+    def subdivide(self, rows: int, cols: int) -> List["Region"]:
+        """Split the region into an evenly sized ``rows x cols`` grid of sub-regions."""
+        if rows < 1 or cols < 1:
+            raise ValueError("rows and cols must be >= 1")
+        ox, oy = self.origin
+        cell_w = self.width / cols
+        cell_h = self.height / rows
+        cells = []
+        for r in range(rows):
+            for c in range(cols):
+                cells.append(
+                    Region(
+                        name=f"{self.name}[{r},{c}]",
+                        width=cell_w,
+                        height=cell_h,
+                        origin=(ox + c * cell_w, oy + r * cell_h),
+                    )
+                )
+        return cells
+
+
+def unit_square(name: str = "unit-square") -> Region:
+    """The unit square, the canonical region for the FKP model."""
+    return Region(name=name, width=1.0, height=1.0)
+
+
+def metro_region(name: str = "metro", size_km: float = 50.0) -> Region:
+    """A metropolitan-scale square region (default 50 km x 50 km).
+
+    This is the natural scale for the access network design problem the paper
+    studies in Section 4 ("Typically, this design problem occurs at the level
+    of the metropolitan area").
+    """
+    return Region(name=name, width=size_km, height=size_km)
+
+
+def national_region(name: str = "national", width_km: float = 4200.0, height_km: float = 2500.0) -> Region:
+    """A continental-scale region sized like the contiguous United States."""
+    return Region(name=name, width=width_km, height=height_km)

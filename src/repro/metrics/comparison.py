@@ -1,0 +1,187 @@
+"""Full-suite topology comparison harness (experiment E5's engine).
+
+The paper's critique: "any particular choice [of metric] tends to yield a
+generated topology that matches observations on the chosen metrics but looks
+very dissimilar on others."  The harness therefore evaluates every topology on
+the whole metric suite — degree statistics and tail classification,
+clustering, path lengths, expansion, resilience, distortion, hierarchy, and
+(optionally) spectrum — and renders side-by-side rows for any set of
+generators, HOT or descriptive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..topology.graph import Topology
+from .clustering import average_clustering, transitivity
+from .degree import degree_sequence, degree_statistics, leaf_fraction, max_degree_share
+from .distance import average_shortest_path_hops, hop_diameter
+from .distortion import cycle_edge_fraction, tree_distortion
+from .expansion import expansion_at
+from .fits import classify_tail
+from .hierarchy_metrics import degree_assortativity, core_periphery_ratio
+from .resilience import robustness_summary
+from .spectrum import spectral_summary
+
+
+@dataclass
+class TopologyReport:
+    """All metrics computed for one topology.
+
+    Attributes:
+        name: Label (usually the generator name).
+        metrics: Flat metric-name → value mapping.
+    """
+
+    name: str
+    metrics: Dict[str, float] = field(default_factory=dict)
+
+    def get(self, metric: str, default: float = float("nan")) -> float:
+        """Value of one metric (NaN when missing)."""
+        return self.metrics.get(metric, default)
+
+
+#: The metric columns produced by :func:`evaluate_topology`, in report order.
+METRIC_COLUMNS: List[str] = [
+    "num_nodes",
+    "num_links",
+    "mean_degree",
+    "max_degree",
+    "degree_cv",
+    "max_degree_share",
+    "leaf_fraction",
+    "tail_verdict_code",
+    "power_law_exponent",
+    "exponential_rate",
+    "avg_clustering",
+    "transitivity",
+    "avg_path_hops",
+    "hop_diameter",
+    "expansion_h3",
+    "distortion",
+    "cycle_edge_fraction",
+    "assortativity",
+    "core_periphery_ratio",
+    "random_auc",
+    "targeted_auc",
+    "fragility_gap",
+]
+
+#: Numeric encoding of tail verdicts so they can sit in the same table.
+TAIL_VERDICT_CODES = {"exponential": -1.0, "inconclusive": 0.0, "power-law": 1.0}
+
+
+def evaluate_topology(
+    topology: Topology,
+    name: Optional[str] = None,
+    include_spectrum: bool = False,
+    sample_size: int = 50,
+    seed: int = 0,
+) -> TopologyReport:
+    """Compute the full metric suite for one topology.
+
+    Args:
+        topology: The topology to evaluate.
+        name: Report label; defaults to the topology's own name.
+        include_spectrum: Also compute eigenvalue summaries (O(n^3); keep off
+            for large graphs).
+        sample_size: Sampling budget for the path/expansion/robustness metrics.
+        seed: Random seed for all sampled metrics.
+    """
+    stats = degree_statistics(topology)
+    degrees = degree_sequence(topology)
+    tail = classify_tail(degrees)
+    robustness = robustness_summary(topology, seed=seed)
+
+    metrics: Dict[str, float] = {
+        "num_nodes": float(stats.num_nodes),
+        "num_links": float(stats.num_links),
+        "mean_degree": stats.mean,
+        "max_degree": float(stats.maximum),
+        "degree_cv": stats.coefficient_of_variation,
+        "max_degree_share": max_degree_share(topology),
+        "leaf_fraction": leaf_fraction(topology),
+        "tail_verdict_code": TAIL_VERDICT_CODES[tail.verdict],
+        "power_law_exponent": tail.power_law.exponent,
+        "exponential_rate": tail.exponential.rate,
+        "avg_clustering": average_clustering(topology),
+        "transitivity": transitivity(topology),
+        "avg_path_hops": average_shortest_path_hops(topology, sample_size=sample_size, seed=seed),
+        "hop_diameter": float(hop_diameter(topology, sample_size=sample_size, seed=seed)),
+        "expansion_h3": expansion_at(topology, hops=3, sample_size=sample_size, seed=seed),
+        "distortion": tree_distortion(topology, sample_pairs=sample_size, seed=seed),
+        "cycle_edge_fraction": cycle_edge_fraction(topology),
+        "assortativity": degree_assortativity(topology),
+        "core_periphery_ratio": core_periphery_ratio(topology),
+        "random_auc": robustness["random_auc"],
+        "targeted_auc": robustness["targeted_auc"],
+        "fragility_gap": robustness["fragility_gap"],
+    }
+    if include_spectrum:
+        metrics.update(spectral_summary(topology))
+    return TopologyReport(name=name or topology.name, metrics=metrics)
+
+
+def compare_topologies(
+    topologies: Dict[str, Topology],
+    include_spectrum: bool = False,
+    sample_size: int = 50,
+    seed: int = 0,
+) -> List[TopologyReport]:
+    """Evaluate several topologies with the same settings (one report each)."""
+    return [
+        evaluate_topology(
+            topology,
+            name=name,
+            include_spectrum=include_spectrum,
+            sample_size=sample_size,
+            seed=seed,
+        )
+        for name, topology in topologies.items()
+    ]
+
+
+def report_table(
+    reports: Sequence[TopologyReport],
+    columns: Optional[Sequence[str]] = None,
+    precision: int = 3,
+) -> str:
+    """Render reports as an aligned plain-text table (benchmark output format)."""
+    columns = list(columns) if columns is not None else METRIC_COLUMNS
+    header = ["topology"] + columns
+    rows = [header]
+    for report in reports:
+        row = [report.name]
+        for column in columns:
+            value = report.get(column)
+            if value != value:  # NaN
+                row.append("nan")
+            elif float(value).is_integer() and abs(value) < 1e15:
+                row.append(str(int(value)))
+            else:
+                row.append(f"{value:.{precision}f}")
+        rows.append(row)
+    widths = [max(len(row[i]) for row in rows) for i in range(len(header))]
+    lines = []
+    for row_index, row in enumerate(rows):
+        line = "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+        lines.append(line.rstrip())
+        if row_index == 0:
+            lines.append("  ".join("-" * widths[i] for i in range(len(header))).rstrip())
+    return "\n".join(lines)
+
+
+def metric_disagreement(reports: Sequence[TopologyReport], metric: str) -> float:
+    """Spread (max - min) of one metric across reports.
+
+    The quantitative form of the paper's "matches on the chosen metrics but
+    looks very dissimilar on others": generators tuned to agree on the degree
+    tail can still disagree wildly on clustering or distortion.
+    """
+    values = [r.get(metric) for r in reports]
+    values = [v for v in values if v == v]
+    if not values:
+        return float("nan")
+    return max(values) - min(values)

@@ -1,0 +1,126 @@
+"""Path-length metrics: average shortest path, diameter, eccentricity, stretch."""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..geography.points import euclidean
+from ..topology.graph import Topology
+from ..optimization.shortest_path import dijkstra
+
+
+def average_shortest_path_hops(
+    topology: Topology,
+    sample_size: Optional[int] = None,
+    seed: int = 0,
+) -> float:
+    """Mean hop count over (sampled) connected node pairs.
+
+    For large graphs a uniform sample of ``sample_size`` source nodes is used;
+    the exact all-pairs average is computed when ``sample_size`` is ``None``
+    or at least the node count.
+    """
+    node_ids = list(topology.node_ids())
+    if len(node_ids) < 2:
+        return 0.0
+    if sample_size is not None and sample_size < len(node_ids):
+        rng = random.Random(seed)
+        sources = rng.sample(node_ids, sample_size)
+    else:
+        sources = node_ids
+    total = 0.0
+    count = 0
+    for source in sources:
+        for target, hops in topology.hop_distances(source).items():
+            if target != source:
+                total += hops
+                count += 1
+    return total / count if count else 0.0
+
+
+def hop_diameter(topology: Topology, sample_size: Optional[int] = None, seed: int = 0) -> int:
+    """Largest hop distance over (sampled) connected pairs."""
+    node_ids = list(topology.node_ids())
+    if len(node_ids) < 2:
+        return 0
+    if sample_size is not None and sample_size < len(node_ids):
+        rng = random.Random(seed)
+        sources = rng.sample(node_ids, sample_size)
+    else:
+        sources = node_ids
+    diameter = 0
+    for source in sources:
+        distances = topology.hop_distances(source)
+        if distances:
+            diameter = max(diameter, max(distances.values()))
+    return diameter
+
+
+def weighted_diameter(topology: Topology, sample_size: Optional[int] = None, seed: int = 0) -> float:
+    """Largest length-weighted shortest-path distance over (sampled) pairs."""
+    node_ids = list(topology.node_ids())
+    if len(node_ids) < 2:
+        return 0.0
+    if sample_size is not None and sample_size < len(node_ids):
+        rng = random.Random(seed)
+        sources = rng.sample(node_ids, sample_size)
+    else:
+        sources = node_ids
+    diameter = 0.0
+    for source in sources:
+        distances, _ = dijkstra(topology, source)
+        if distances:
+            diameter = max(diameter, max(distances.values()))
+    return diameter
+
+
+def eccentricity_distribution(topology: Topology) -> Dict[Any, int]:
+    """Hop eccentricity of every node (max hop distance to any reachable node)."""
+    result = {}
+    for node_id in topology.node_ids():
+        distances = topology.hop_distances(node_id)
+        result[node_id] = max(distances.values()) if distances else 0
+    return result
+
+
+def geographic_stretch(
+    topology: Topology,
+    pairs: Optional[List[Tuple[Any, Any]]] = None,
+    sample_size: int = 100,
+    seed: int = 0,
+) -> float:
+    """Mean ratio of network path length to straight-line distance.
+
+    Stretch close to 1 means the physical layout routes traffic almost along
+    geodesics (what a cost-minimizing design achieves for its served pairs);
+    high stretch signals detours through hubs.  Pairs without locations or
+    with zero straight-line distance are skipped.
+    """
+    node_ids = [
+        node.node_id for node in topology.nodes() if node.location is not None
+    ]
+    if len(node_ids) < 2:
+        return float("nan")
+    rng = random.Random(seed)
+    if pairs is None:
+        pairs = []
+        for _ in range(sample_size):
+            u, v = rng.sample(node_ids, 2)
+            pairs.append((u, v))
+    ratios = []
+    for u, v in pairs:
+        loc_u = topology.node(u).location
+        loc_v = topology.node(v).location
+        if loc_u is None or loc_v is None:
+            continue
+        direct = euclidean(loc_u, loc_v)
+        if direct <= 0:
+            continue
+        distances, _ = dijkstra(topology, u)
+        if v not in distances:
+            continue
+        ratios.append(distances[v] / direct)
+    if not ratios:
+        return float("nan")
+    return sum(ratios) / len(ratios)

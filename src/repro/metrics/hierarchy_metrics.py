@@ -1,0 +1,118 @@
+"""Hierarchy metrics on arbitrary topologies (with or without role annotations).
+
+The paper's critique of descriptive generators centers on hierarchy: structural
+generators impose it, degree-based ones ignore it, and the optimization-driven
+approach produces it as a by-product.  These metrics quantify how hierarchical
+a topology is without relying on imposed labels, plus convenience wrappers
+over the role-annotated hierarchy summary in :mod:`repro.topology.hierarchy`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from ..topology.graph import Topology
+from ..topology.hierarchy import HierarchySummary, summarize_hierarchy
+from ..topology.node import NodeRole
+
+
+def degree_assortativity(topology: Topology) -> float:
+    """Pearson correlation of the degrees at the two ends of each link.
+
+    Hierarchical, hub-and-spoke topologies are disassortative (negative);
+    random graphs are near zero.  Returns ``nan`` for degenerate cases.
+    """
+    xs: List[float] = []
+    ys: List[float] = []
+    for link in topology.links():
+        du = topology.degree(link.source)
+        dv = topology.degree(link.target)
+        # Count each link in both orientations so the measure is symmetric.
+        xs.extend([du, dv])
+        ys.extend([dv, du])
+    n = len(xs)
+    if n < 2:
+        return float("nan")
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    sxx = sum((x - mean_x) ** 2 for x in xs)
+    syy = sum((y - mean_y) ** 2 for y in ys)
+    sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    if sxx == 0 or syy == 0:
+        return float("nan")
+    return sxy / (sxx * syy) ** 0.5
+
+
+def rich_club_coefficient(topology: Topology, degree_threshold: int) -> float:
+    """Density of the subgraph induced by nodes with degree > ``degree_threshold``.
+
+    A large rich-club coefficient indicates a densely interconnected core —
+    present in measured router graphs and in backbone designs, absent in pure
+    trees.
+    """
+    rich = [n for n in topology.node_ids() if topology.degree(n) > degree_threshold]
+    k = len(rich)
+    if k < 2:
+        return 0.0
+    rich_set = set(rich)
+    links = sum(
+        1
+        for link in topology.links()
+        if link.source in rich_set and link.target in rich_set
+    )
+    return 2.0 * links / (k * (k - 1))
+
+
+def core_periphery_ratio(topology: Topology, core_fraction: float = 0.1) -> float:
+    """Share of links touching the top ``core_fraction`` of nodes by degree.
+
+    Values near 1 mean almost every link involves the high-degree core
+    (strong hierarchy); values near ``core_fraction`` mean links are spread
+    uniformly.
+    """
+    if not 0 < core_fraction <= 1:
+        raise ValueError("core_fraction must be in (0, 1]")
+    if topology.num_links == 0:
+        return 0.0
+    node_ids = sorted(topology.node_ids(), key=topology.degree, reverse=True)
+    core_size = max(1, int(round(core_fraction * len(node_ids))))
+    core = set(node_ids[:core_size])
+    touching = sum(
+        1 for link in topology.links() if link.source in core or link.target in core
+    )
+    return touching / topology.num_links
+
+
+def hierarchy_depth(topology: Topology) -> int:
+    """Maximum hop distance from any node to the nearest top-degree node.
+
+    A proxy for the number of hierarchy levels when explicit roles are absent:
+    star graphs have depth 1, balanced trees have depth ~log(n), and chains
+    have depth ~n.
+    """
+    if topology.num_nodes == 0:
+        return 0
+    hub = topology.max_degree_node()
+    distances = topology.hop_distances(hub)
+    return max(distances.values()) if distances else 0
+
+
+def role_hierarchy_summary(topology: Topology) -> HierarchySummary:
+    """Role-annotation-based hierarchy summary (wrapper for discoverability)."""
+    return summarize_hierarchy(topology)
+
+
+def hierarchy_report(topology: Topology) -> Dict[str, Any]:
+    """All hierarchy indicators in one dictionary (used by the comparison harness)."""
+    max_degree = max(topology.degree_sequence()) if topology.num_nodes else 0
+    threshold = max(1, max_degree // 4)
+    summary = summarize_hierarchy(topology)
+    has_roles = any(node.role != NodeRole.GENERIC for node in topology.nodes())
+    return {
+        "assortativity": degree_assortativity(topology),
+        "rich_club": rich_club_coefficient(topology, threshold),
+        "core_periphery_ratio": core_periphery_ratio(topology),
+        "hierarchy_depth": hierarchy_depth(topology),
+        "backbone_fraction": summary.backbone_fraction if has_roles else float("nan"),
+        "mean_customer_depth": summary.mean_customer_depth,
+    }

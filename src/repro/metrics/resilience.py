@@ -1,0 +1,226 @@
+"""Resilience: robustness of connectivity under node/link removal.
+
+Two uses in the reproduction:
+
+* the Tangmunarunkit et al. "resilience" metric (size of the largest component
+  as nodes are removed), part of the E5 generator comparison; and
+* the HOT robust-yet-fragile signature (experiment E7): optimization-driven
+  designs tolerate random failures (most nodes are leaves) but are fragile to
+  targeted removal of their high-degree aggregation hubs — "robustness ... is
+  a constrained and limited quantity", Section 3.1.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..topology.graph import Topology
+from ..topology.node import NodeRole
+
+
+@dataclass
+class RemovalTrace:
+    """Largest-component trajectory under progressive node removal.
+
+    Attributes:
+        strategy: ``"random"`` or ``"targeted"``.
+        fractions_removed: Fraction of nodes removed at each step.
+        largest_component_fraction: Size of the largest remaining component as
+            a fraction of the original node count, per step.
+        disconnected_demand_fraction: Fraction of total customer demand whose
+            node is removed or disconnected from every core node, per step
+            (0 when the topology has no core/customer annotations).
+    """
+
+    strategy: str
+    fractions_removed: List[float]
+    largest_component_fraction: List[float]
+    disconnected_demand_fraction: List[float]
+
+    def area_under_curve(self) -> float:
+        """Mean largest-component fraction over the removal trajectory.
+
+        A scalar robustness summary: 1.0 means connectivity is unaffected,
+        values near 0 mean the network shatters immediately.
+        """
+        if not self.largest_component_fraction:
+            return 0.0
+        return sum(self.largest_component_fraction) / len(self.largest_component_fraction)
+
+
+def _largest_component_fraction(topology: Topology, original_size: int) -> float:
+    if topology.num_nodes == 0 or original_size == 0:
+        return 0.0
+    components = topology.connected_components()
+    if not components:
+        return 0.0
+    return max(len(c) for c in components) / original_size
+
+
+def _disconnected_demand_fraction(topology: Topology, total_demand: float) -> float:
+    if total_demand <= 0:
+        return 0.0
+    cores = [n.node_id for n in topology.nodes() if n.role == NodeRole.CORE]
+    if not cores:
+        return 0.0
+    reachable = set()
+    for core in cores:
+        reachable.update(topology.bfs_order(core))
+    connected_demand = sum(
+        node.demand
+        for node in topology.nodes()
+        if node.role == NodeRole.CUSTOMER and node.node_id in reachable
+    )
+    return 1.0 - connected_demand / total_demand
+
+
+def removal_trace(
+    topology: Topology,
+    strategy: str = "random",
+    steps: int = 20,
+    max_fraction: float = 0.5,
+    seed: int = 0,
+    protect_roles: Sequence[NodeRole] = (),
+) -> RemovalTrace:
+    """Remove nodes progressively and track connectivity.
+
+    Args:
+        topology: Input topology (not modified; a copy is degraded).
+        strategy: ``"random"`` removes uniformly chosen nodes; ``"targeted"``
+            removes in decreasing order of (current) degree.
+        steps: Number of measurement points along the removal trajectory.
+        max_fraction: Largest fraction of nodes to remove.
+        seed: Random seed for the random strategy.
+        protect_roles: Node roles never removed (e.g. protect customers so
+            that only infrastructure failures are modeled).
+    """
+    if strategy not in ("random", "targeted"):
+        raise ValueError("strategy must be 'random' or 'targeted'")
+    if steps < 1:
+        raise ValueError("steps must be >= 1")
+    if not 0 < max_fraction <= 1:
+        raise ValueError("max_fraction must be in (0, 1]")
+
+    working = topology.copy()
+    original_size = topology.num_nodes
+    total_demand = sum(
+        node.demand for node in topology.nodes() if node.role == NodeRole.CUSTOMER
+    )
+    rng = random.Random(seed)
+    protected = set(protect_roles)
+
+    removable = [
+        node.node_id for node in topology.nodes() if node.role not in protected
+    ]
+    total_to_remove = int(max_fraction * original_size)
+    total_to_remove = min(total_to_remove, len(removable))
+    per_step = max(1, total_to_remove // steps)
+
+    fractions = [0.0]
+    largest = [_largest_component_fraction(working, original_size)]
+    demand_loss = [_disconnected_demand_fraction(working, total_demand)]
+    removed = 0
+
+    if strategy == "random":
+        rng.shuffle(removable)
+    while removed < total_to_remove:
+        batch = min(per_step, total_to_remove - removed)
+        for _ in range(batch):
+            if strategy == "targeted":
+                candidates = [n for n in working.node_ids() if n in set(removable)]
+                if not candidates:
+                    break
+                victim = max(candidates, key=working.degree)
+                removable.remove(victim)
+            else:
+                victim = None
+                while removable:
+                    candidate = removable.pop()
+                    if working.has_node(candidate):
+                        victim = candidate
+                        break
+                if victim is None:
+                    break
+            if working.has_node(victim):
+                working.remove_node(victim)
+                removed += 1
+        fractions.append(removed / original_size)
+        largest.append(_largest_component_fraction(working, original_size))
+        demand_loss.append(_disconnected_demand_fraction(working, total_demand))
+        if removed >= len(removable) + removed:
+            break
+    return RemovalTrace(
+        strategy=strategy,
+        fractions_removed=fractions,
+        largest_component_fraction=largest,
+        disconnected_demand_fraction=demand_loss,
+    )
+
+
+def robustness_summary(
+    topology: Topology, steps: int = 10, max_fraction: float = 0.3, seed: int = 0
+) -> Dict[str, float]:
+    """Random vs targeted robustness in one dictionary (the E7 headline numbers).
+
+    Keys: ``random_auc``, ``targeted_auc`` (mean largest-component fraction
+    under each strategy), and ``fragility_gap`` (their difference — the
+    robust-yet-fragile signature: large for HOT designs, small for random
+    graphs).
+    """
+    random_trace = removal_trace(
+        topology, strategy="random", steps=steps, max_fraction=max_fraction, seed=seed
+    )
+    targeted_trace = removal_trace(
+        topology, strategy="targeted", steps=steps, max_fraction=max_fraction, seed=seed
+    )
+    random_auc = random_trace.area_under_curve()
+    targeted_auc = targeted_trace.area_under_curve()
+    return {
+        "random_auc": random_auc,
+        "targeted_auc": targeted_auc,
+        "fragility_gap": random_auc - targeted_auc,
+    }
+
+
+def resilience_metric(topology: Topology, sample_size: int = 30, seed: int = 0) -> float:
+    """Tangmunarunkit-style resilience: average min-cut between random node pairs.
+
+    Estimated as the minimum degree along the shortest path between sampled
+    pairs (an upper bound on, and in practice a good proxy for, the pairwise
+    min-cut in sparse topologies); higher values mean more alternative routes.
+    """
+    node_ids = list(topology.node_ids())
+    if len(node_ids) < 2:
+        return 0.0
+    rng = random.Random(seed)
+    total = 0.0
+    count = 0
+    for _ in range(sample_size):
+        u, v = rng.sample(node_ids, 2)
+        distances = topology.hop_distances(u)
+        if v not in distances:
+            continue
+        # Walk back a shortest path greedily and take the minimum degree on it.
+        path = [v]
+        current = v
+        while current != u:
+            next_hop = min(
+                (
+                    neighbor
+                    for neighbor in topology.neighbors(current)
+                    if distances.get(neighbor, float("inf")) == distances[current] - 1
+                ),
+                key=repr,
+                default=None,
+            )
+            if next_hop is None:
+                break
+            path.append(next_hop)
+            current = next_hop
+        if current != u:
+            continue
+        total += min(topology.degree(n) for n in path)
+        count += 1
+    return total / count if count else 0.0

@@ -1,0 +1,215 @@
+"""Network flow substrate: max-flow / min-cut and min-cost flow.
+
+Two uses in the reproduction:
+
+* **min-cut** between customer sites and the core quantifies the designed-in
+  redundancy of an access network (experiment E7's footnote-7 variant);
+* **min-cost flow** gives an optimal-routing comparator for capacitated
+  provisioning once cables are installed (how well does shortest-path routing
+  approximate the cheapest feasible routing of the demand).
+
+The implementations are classical and dependency-free: Edmonds–Karp (BFS
+augmenting paths) for max-flow and successive shortest augmenting paths with
+Bellman–Ford (no potentials, small graphs) for min-cost flow.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..topology.graph import Topology
+
+
+@dataclass
+class FlowNetwork:
+    """A directed flow network built from explicit arcs.
+
+    Arcs are stored as parallel lists (to, capacity, cost, flow) plus a
+    residual twin for each arc, following the standard adjacency-list
+    residual-graph layout.
+    """
+
+    _heads: Dict[Any, List[int]] = field(default_factory=dict)
+    _to: List[Any] = field(default_factory=list)
+    _capacity: List[float] = field(default_factory=list)
+    _cost: List[float] = field(default_factory=list)
+    _flow: List[float] = field(default_factory=list)
+
+    def add_node(self, node: Any) -> None:
+        """Register a node (idempotent)."""
+        self._heads.setdefault(node, [])
+
+    def nodes(self) -> List[Any]:
+        """All registered nodes."""
+        return list(self._heads)
+
+    def add_arc(self, source: Any, target: Any, capacity: float, cost: float = 0.0) -> None:
+        """Add a directed arc and its zero-capacity residual twin."""
+        if capacity < 0:
+            raise ValueError("arc capacity must be non-negative")
+        self.add_node(source)
+        self.add_node(target)
+        self._heads[source].append(len(self._to))
+        self._to.append(target)
+        self._capacity.append(capacity)
+        self._cost.append(cost)
+        self._flow.append(0.0)
+        self._heads[target].append(len(self._to))
+        self._to.append(source)
+        self._capacity.append(0.0)
+        self._cost.append(-cost)
+        self._flow.append(0.0)
+
+    def add_edge(self, u: Any, v: Any, capacity: float, cost: float = 0.0) -> None:
+        """Add an undirected edge as two opposite arcs of the same capacity."""
+        self.add_arc(u, v, capacity, cost)
+        self.add_arc(v, u, capacity, cost)
+
+    # ------------------------------------------------------------------
+    def _residual(self, arc: int) -> float:
+        return self._capacity[arc] - self._flow[arc]
+
+    def arc_flow(self, source: Any, target: Any) -> float:
+        """Net flow currently pushed from ``source`` to ``target`` over direct arcs."""
+        total = 0.0
+        for arc in self._heads.get(source, []):
+            if self._to[arc] == target and self._capacity[arc] > 0:
+                total += self._flow[arc]
+        return total
+
+    # ------------------------------------------------------------------
+    def max_flow(self, source: Any, sink: Any) -> float:
+        """Edmonds–Karp max flow from ``source`` to ``sink`` (mutates flows)."""
+        if source not in self._heads or sink not in self._heads:
+            raise ValueError("source and sink must be registered nodes")
+        total = 0.0
+        while True:
+            parent_arc: Dict[Any, int] = {}
+            queue = deque([source])
+            visited = {source}
+            while queue and sink not in visited:
+                current = queue.popleft()
+                for arc in self._heads[current]:
+                    neighbor = self._to[arc]
+                    if neighbor not in visited and self._residual(arc) > 1e-12:
+                        visited.add(neighbor)
+                        parent_arc[neighbor] = arc
+                        queue.append(neighbor)
+            if sink not in visited:
+                return total
+            # Find the bottleneck along the augmenting path.
+            bottleneck = float("inf")
+            node = sink
+            while node != source:
+                arc = parent_arc[node]
+                bottleneck = min(bottleneck, self._residual(arc))
+                node = self._to[arc ^ 1]
+            node = sink
+            while node != source:
+                arc = parent_arc[node]
+                self._flow[arc] += bottleneck
+                self._flow[arc ^ 1] -= bottleneck
+                node = self._to[arc ^ 1]
+            total += bottleneck
+
+    def min_cut_value(self, source: Any, sink: Any) -> float:
+        """Value of the minimum source-sink cut (equals the max flow)."""
+        return self.max_flow(source, sink)
+
+    # ------------------------------------------------------------------
+    def min_cost_flow(
+        self, source: Any, sink: Any, amount: float
+    ) -> Tuple[float, float]:
+        """Send ``amount`` of flow at minimum cost (successive shortest paths).
+
+        Returns ``(flow_sent, total_cost)``; ``flow_sent`` may be less than
+        ``amount`` if the network cannot carry it.
+        """
+        if amount < 0:
+            raise ValueError("amount must be non-negative")
+        sent = 0.0
+        total_cost = 0.0
+        nodes = self.nodes()
+        while sent < amount - 1e-12:
+            # Bellman–Ford over the residual graph (costs may be negative on twins).
+            distance = {node: float("inf") for node in nodes}
+            parent_arc: Dict[Any, int] = {}
+            distance[source] = 0.0
+            for _ in range(len(nodes) - 1):
+                updated = False
+                for node in nodes:
+                    if distance[node] == float("inf"):
+                        continue
+                    for arc in self._heads[node]:
+                        if self._residual(arc) <= 1e-12:
+                            continue
+                        neighbor = self._to[arc]
+                        candidate = distance[node] + self._cost[arc]
+                        if candidate < distance[neighbor] - 1e-12:
+                            distance[neighbor] = candidate
+                            parent_arc[neighbor] = arc
+                            updated = True
+                if not updated:
+                    break
+            if distance[sink] == float("inf"):
+                break
+            # Bottleneck along the cheapest augmenting path.
+            bottleneck = amount - sent
+            node = sink
+            while node != source:
+                arc = parent_arc[node]
+                bottleneck = min(bottleneck, self._residual(arc))
+                node = self._to[arc ^ 1]
+            node = sink
+            while node != source:
+                arc = parent_arc[node]
+                self._flow[arc] += bottleneck
+                self._flow[arc ^ 1] -= bottleneck
+                total_cost += bottleneck * self._cost[arc]
+                node = self._to[arc ^ 1]
+            sent += bottleneck
+        return sent, total_cost
+
+
+def network_from_topology(
+    topology: Topology,
+    capacity_attr: str = "capacity",
+    default_capacity: float = float("inf"),
+    use_usage_cost: bool = True,
+) -> FlowNetwork:
+    """Build a :class:`FlowNetwork` from an annotated topology.
+
+    Each undirected link becomes two arcs whose capacity is the link's
+    installed capacity (``default_capacity`` when unbounded) and whose cost is
+    the link's marginal usage cost (or its length when ``use_usage_cost`` is
+    False).
+    """
+    network = FlowNetwork()
+    for node in topology.nodes():
+        network.add_node(node.node_id)
+    for link in topology.links():
+        capacity = getattr(link, capacity_attr, None)
+        if capacity is None:
+            capacity = default_capacity
+        cost = link.usage_cost if use_usage_cost else (link.length or 1.0)
+        network.add_edge(link.source, link.target, capacity=capacity, cost=cost)
+    return network
+
+
+def pairwise_min_cut(topology: Topology, u: Any, v: Any) -> float:
+    """Minimum cut (in installed capacity) between two nodes of a topology."""
+    network = network_from_topology(topology)
+    return network.min_cut_value(u, v)
+
+
+def cheapest_routing_cost(
+    topology: Topology, source: Any, sink: Any, amount: float
+) -> Optional[float]:
+    """Minimum usage cost of routing ``amount`` between two nodes, or None if infeasible."""
+    network = network_from_topology(topology)
+    sent, cost = network.min_cost_flow(source, sink, amount)
+    if sent < amount - 1e-9:
+        return None
+    return cost

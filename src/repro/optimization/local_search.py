@@ -1,0 +1,209 @@
+"""Generic local search and simulated annealing.
+
+The paper argues that real topologies are *approximately* optimal solutions
+found by designers under constraints.  The generators therefore need generic
+approximate optimizers for the problems that are NP-hard (buy-at-bulk, access
+design): this module provides a hill climber and a simulated annealer over
+arbitrary solution/neighborhood abstractions, used by the design-refinement
+passes and by the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Generic, List, Optional, Tuple, TypeVar
+
+Solution = TypeVar("Solution")
+
+
+@dataclass
+class SearchResult(Generic[Solution]):
+    """Outcome of a local-search run.
+
+    Attributes:
+        best_solution: The best solution encountered.
+        best_cost: Its cost.
+        iterations: Number of iterations performed.
+        accepted_moves: Number of accepted (improving or annealing) moves.
+        history: Cost of the incumbent after each iteration (for convergence
+            plots in the benchmarks).
+    """
+
+    best_solution: Solution
+    best_cost: float
+    iterations: int
+    accepted_moves: int
+    history: List[float] = field(default_factory=list)
+
+
+def hill_climb(
+    initial: Solution,
+    cost: Callable[[Solution], float],
+    neighbor: Callable[[Solution, random.Random], Solution],
+    max_iterations: int = 1000,
+    patience: int = 100,
+    rng: Optional[random.Random] = None,
+) -> SearchResult[Solution]:
+    """First-improvement hill climbing.
+
+    Args:
+        initial: Starting solution.
+        cost: Objective to minimize.
+        neighbor: Function producing a random neighbor of a solution.
+        max_iterations: Hard iteration cap.
+        patience: Stop after this many consecutive non-improving proposals.
+        rng: Random source.
+    """
+    if max_iterations < 0 or patience < 0:
+        raise ValueError("max_iterations and patience must be non-negative")
+    rng = rng or random.Random()
+    current = initial
+    current_cost = cost(initial)
+    best, best_cost = current, current_cost
+    history = [current_cost]
+    stale = 0
+    accepted = 0
+    iterations = 0
+    for iterations in range(1, max_iterations + 1):
+        candidate = neighbor(current, rng)
+        candidate_cost = cost(candidate)
+        if candidate_cost < current_cost:
+            current, current_cost = candidate, candidate_cost
+            accepted += 1
+            stale = 0
+            if candidate_cost < best_cost:
+                best, best_cost = candidate, candidate_cost
+        else:
+            stale += 1
+        history.append(current_cost)
+        if stale >= patience:
+            break
+    return SearchResult(
+        best_solution=best,
+        best_cost=best_cost,
+        iterations=iterations,
+        accepted_moves=accepted,
+        history=history,
+    )
+
+
+@dataclass
+class AnnealingSchedule:
+    """Geometric cooling schedule for simulated annealing.
+
+    Attributes:
+        initial_temperature: Starting temperature.
+        cooling_rate: Multiplicative factor applied after every iteration
+            (must be in (0, 1)).
+        min_temperature: Temperature at which the search stops.
+    """
+
+    initial_temperature: float = 1.0
+    cooling_rate: float = 0.995
+    min_temperature: float = 1e-4
+
+    def __post_init__(self) -> None:
+        if self.initial_temperature <= 0:
+            raise ValueError("initial_temperature must be positive")
+        if not 0 < self.cooling_rate < 1:
+            raise ValueError("cooling_rate must be in (0, 1)")
+        if self.min_temperature <= 0:
+            raise ValueError("min_temperature must be positive")
+
+    def temperatures(self, max_steps: int) -> List[float]:
+        """The sequence of temperatures visited (capped at ``max_steps``)."""
+        temps = []
+        t = self.initial_temperature
+        while t > self.min_temperature and len(temps) < max_steps:
+            temps.append(t)
+            t *= self.cooling_rate
+        return temps
+
+
+def simulated_annealing(
+    initial: Solution,
+    cost: Callable[[Solution], float],
+    neighbor: Callable[[Solution, random.Random], Solution],
+    schedule: Optional[AnnealingSchedule] = None,
+    max_iterations: int = 5000,
+    rng: Optional[random.Random] = None,
+) -> SearchResult[Solution]:
+    """Simulated annealing with a geometric cooling schedule.
+
+    Worse moves are accepted with probability ``exp(-delta / temperature)``;
+    the best solution ever seen is returned (not merely the final incumbent).
+    """
+    rng = rng or random.Random()
+    schedule = schedule or AnnealingSchedule()
+    current = initial
+    current_cost = cost(initial)
+    best, best_cost = current, current_cost
+    history = [current_cost]
+    accepted = 0
+    temperatures = schedule.temperatures(max_iterations)
+    for temperature in temperatures:
+        candidate = neighbor(current, rng)
+        candidate_cost = cost(candidate)
+        delta = candidate_cost - current_cost
+        if delta <= 0 or rng.random() < math.exp(-delta / temperature):
+            current, current_cost = candidate, candidate_cost
+            accepted += 1
+            if current_cost < best_cost:
+                best, best_cost = current, current_cost
+        history.append(current_cost)
+    return SearchResult(
+        best_solution=best,
+        best_cost=best_cost,
+        iterations=len(temperatures),
+        accepted_moves=accepted,
+        history=history,
+    )
+
+
+def multi_start(
+    starts: List[Solution],
+    cost: Callable[[Solution], float],
+    neighbor: Callable[[Solution, random.Random], Solution],
+    max_iterations: int = 500,
+    rng: Optional[random.Random] = None,
+) -> SearchResult[Solution]:
+    """Run hill climbing from several starting solutions and keep the best."""
+    if not starts:
+        raise ValueError("at least one starting solution is required")
+    rng = rng or random.Random()
+    best_result: Optional[SearchResult[Solution]] = None
+    total_iterations = 0
+    total_accepted = 0
+    combined_history: List[float] = []
+    for start in starts:
+        result = hill_climb(start, cost, neighbor, max_iterations=max_iterations, rng=rng)
+        total_iterations += result.iterations
+        total_accepted += result.accepted_moves
+        combined_history.extend(result.history)
+        if best_result is None or result.best_cost < best_result.best_cost:
+            best_result = result
+    assert best_result is not None
+    return SearchResult(
+        best_solution=best_result.best_solution,
+        best_cost=best_result.best_cost,
+        iterations=total_iterations,
+        accepted_moves=total_accepted,
+        history=combined_history,
+    )
+
+
+def pareto_front(points: List[Tuple[float, float]]) -> List[Tuple[float, float]]:
+    """Non-dominated subset of (objective1, objective2) pairs, both minimized.
+
+    Used by the multi-objective analysis of the FKP tradeoff (distance vs
+    centrality) and by the cost/performance frontier plots.
+    """
+    front: List[Tuple[float, float]] = []
+    best_second = float("inf")
+    for candidate in sorted(points):
+        if candidate[1] < best_second:
+            front.append(candidate)
+            best_second = candidate[1]
+    return front

@@ -1,0 +1,128 @@
+"""Shortest paths over annotated topologies (Dijkstra and BFS variants)."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..topology.graph import Topology
+from ..topology.link import Link
+
+
+def dijkstra(
+    topology: Topology,
+    source: Any,
+    weight: Optional[Callable[[Link], float]] = None,
+) -> Tuple[Dict[Any, float], Dict[Any, Any]]:
+    """Single-source shortest paths.
+
+    Args:
+        topology: The graph to search.
+        source: Source node identifier.
+        weight: Link weight function; defaults to physical length, falling
+            back to 1.0 for zero-length links so that purely logical graphs
+            still produce hop-count paths.
+
+    Returns:
+        ``(distances, predecessors)`` where unreachable nodes are absent from
+        both dictionaries and the source has no predecessor entry.
+
+    Raises:
+        ValueError: if any link weight is negative.
+    """
+    if weight is None:
+        weight = _default_weight
+    distances: Dict[Any, float] = {source: 0.0}
+    predecessors: Dict[Any, Any] = {}
+    visited = set()
+    counter = 0
+    heap: List[Tuple[float, int, Any]] = [(0.0, counter, source)]
+    while heap:
+        distance, _, current = heapq.heappop(heap)
+        if current in visited:
+            continue
+        visited.add(current)
+        for link in topology.incident_links(current):
+            neighbor = link.other_end(current)
+            if neighbor in visited:
+                continue
+            w = weight(link)
+            if w < 0:
+                raise ValueError(f"negative link weight {w} on {link.key}")
+            candidate = distance + w
+            if candidate < distances.get(neighbor, float("inf")):
+                distances[neighbor] = candidate
+                predecessors[neighbor] = current
+                counter += 1
+                heapq.heappush(heap, (candidate, counter, neighbor))
+    return distances, predecessors
+
+
+def _default_weight(link: Link) -> float:
+    return link.length if link.length > 0 else 1.0
+
+
+def shortest_path(
+    topology: Topology,
+    source: Any,
+    target: Any,
+    weight: Optional[Callable[[Link], float]] = None,
+) -> Optional[List[Any]]:
+    """Shortest path between two nodes as a node list, or ``None`` if unreachable."""
+    distances, predecessors = dijkstra(topology, source, weight)
+    if target not in distances:
+        return None
+    return reconstruct_path(predecessors, source, target)
+
+
+def reconstruct_path(predecessors: Dict[Any, Any], source: Any, target: Any) -> List[Any]:
+    """Rebuild a path from a predecessor map produced by :func:`dijkstra`."""
+    path = [target]
+    while path[-1] != source:
+        previous = predecessors.get(path[-1])
+        if previous is None:
+            raise ValueError(f"no path from {source!r} to {target!r} in predecessor map")
+        path.append(previous)
+    path.reverse()
+    return path
+
+
+def path_length(
+    topology: Topology,
+    path: List[Any],
+    weight: Optional[Callable[[Link], float]] = None,
+) -> float:
+    """Total weight of a node path in the topology."""
+    if weight is None:
+        weight = _default_weight
+    total = 0.0
+    for u, v in zip(path, path[1:]):
+        total += weight(topology.link(u, v))
+    return total
+
+
+def all_pairs_shortest_lengths(
+    topology: Topology,
+    weight: Optional[Callable[[Link], float]] = None,
+    sources: Optional[List[Any]] = None,
+) -> Dict[Any, Dict[Any, float]]:
+    """Shortest-path lengths from every source (or a subset) to all nodes."""
+    sources = list(sources) if sources is not None else list(topology.node_ids())
+    result = {}
+    for source in sources:
+        distances, _ = dijkstra(topology, source, weight)
+        result[source] = distances
+    return result
+
+
+def hop_count_paths(topology: Topology, source: Any) -> Dict[Any, int]:
+    """Hop distances from a source (unweighted BFS); wrapper for symmetry."""
+    return topology.hop_distances(source)
+
+
+def eccentricity(
+    topology: Topology, node: Any, weight: Optional[Callable[[Link], float]] = None
+) -> float:
+    """Greatest shortest-path distance from ``node`` to any reachable node."""
+    distances, _ = dijkstra(topology, node, weight)
+    return max(distances.values()) if distances else 0.0

@@ -1,0 +1,168 @@
+"""Steiner tree heuristics.
+
+Access design problems "belong within the family of minimum cost spanning
+tree (MCST) and Steiner tree problems" (paper Section 4.1).  We implement the
+classic 2-approximation via the metric closure over terminals and the
+Takahashi–Matsuyama shortest-path insertion heuristic, both operating on
+annotated topologies, plus a geometric variant used by the backbone designer.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..geography.points import euclidean
+from ..topology.graph import Topology
+from ..topology.link import Link
+from .mst import kruskal_edges, prim_mst_points
+from .shortest_path import dijkstra, reconstruct_path
+
+
+def metric_closure_steiner_tree(
+    topology: Topology,
+    terminals: Sequence[Any],
+    weight: Optional[Callable[[Link], float]] = None,
+) -> Topology:
+    """2-approximate Steiner tree over ``terminals`` within ``topology``.
+
+    Algorithm (Kou–Markowsky–Berman flavour): build the metric closure over
+    the terminals (complete graph weighted by shortest-path distances), take
+    its MST, and expand each MST edge back into its shortest path in the
+    original graph; the union of these paths induces the Steiner subgraph,
+    which is finally pruned back to a tree.
+
+    Returns:
+        A new :class:`Topology` containing the Steiner tree (nodes and links
+        copied, with their annotations, from the input topology).
+
+    Raises:
+        ValueError: if fewer than one terminal is given or any terminal is
+            unreachable from the first.
+    """
+    terminals = list(dict.fromkeys(terminals))
+    if not terminals:
+        raise ValueError("at least one terminal is required")
+    for terminal in terminals:
+        if not topology.has_node(terminal):
+            raise ValueError(f"terminal {terminal!r} is not in the topology")
+    if len(terminals) == 1:
+        return topology.subgraph([terminals[0]], name=f"{topology.name}-steiner")
+
+    shortest: Dict[Any, Tuple[Dict[Any, float], Dict[Any, Any]]] = {}
+    for terminal in terminals:
+        shortest[terminal] = dijkstra(topology, terminal, weight)
+
+    closure_edges = []
+    for i, a in enumerate(terminals):
+        distances_a = shortest[a][0]
+        for b in terminals[i + 1 :]:
+            if b not in distances_a:
+                raise ValueError(f"terminal {b!r} is unreachable from {a!r}")
+            closure_edges.append((a, b, distances_a[b]))
+
+    mst_edges = kruskal_edges(terminals, closure_edges)
+
+    keep_nodes: Set[Any] = set()
+    keep_links: Set[Tuple[Any, Any]] = set()
+    for a, b, _ in mst_edges:
+        path = reconstruct_path(shortest[a][1], a, b)
+        keep_nodes.update(path)
+        for u, v in zip(path, path[1:]):
+            keep_links.add((u, v))
+            keep_links.add((v, u))
+
+    steiner = topology.subgraph(keep_nodes, name=f"{topology.name}-steiner")
+    for link in list(steiner.links()):
+        if (link.source, link.target) not in keep_links:
+            steiner.remove_link(link.source, link.target)
+    _prune_non_terminal_leaves(steiner, set(terminals))
+    return steiner
+
+
+def takahashi_matsuyama_steiner_tree(
+    topology: Topology,
+    terminals: Sequence[Any],
+    weight: Optional[Callable[[Link], float]] = None,
+) -> Topology:
+    """Shortest-path insertion heuristic for the Steiner tree problem.
+
+    Starting from the first terminal, repeatedly connect the terminal closest
+    to the current tree by its shortest path.  Produces solutions within a
+    factor 2 of optimal and often better than the metric-closure tree in
+    practice.
+    """
+    terminals = list(dict.fromkeys(terminals))
+    if not terminals:
+        raise ValueError("at least one terminal is required")
+    for terminal in terminals:
+        if not topology.has_node(terminal):
+            raise ValueError(f"terminal {terminal!r} is not in the topology")
+
+    tree_nodes: Set[Any] = {terminals[0]}
+    tree_links: Set[Tuple[Any, Any]] = set()
+    remaining = set(terminals[1:])
+
+    while remaining:
+        best_path: Optional[List[Any]] = None
+        best_cost = float("inf")
+        # Search from every node already in the tree to the closest remaining terminal.
+        for start in tree_nodes:
+            distances, predecessors = dijkstra(topology, start, weight)
+            for terminal in remaining:
+                cost = distances.get(terminal, float("inf"))
+                if cost < best_cost:
+                    best_cost = cost
+                    best_path = reconstruct_path(predecessors, start, terminal)
+        if best_path is None:
+            raise ValueError("some terminals are unreachable from the tree")
+        for u, v in zip(best_path, best_path[1:]):
+            tree_links.add((u, v))
+            tree_links.add((v, u))
+        tree_nodes.update(best_path)
+        remaining -= set(best_path)
+
+    steiner = topology.subgraph(tree_nodes, name=f"{topology.name}-steiner-tm")
+    for link in list(steiner.links()):
+        if (link.source, link.target) not in tree_links:
+            steiner.remove_link(link.source, link.target)
+    _prune_non_terminal_leaves(steiner, set(terminals))
+    return steiner
+
+
+def geometric_steiner_backbone(
+    locations: Sequence[Tuple[float, float]],
+    name: str = "geometric-backbone",
+) -> Topology:
+    """Euclidean MST over a set of locations, as a backbone skeleton.
+
+    For geometric instances where any pair of sites can be linked by new
+    fiber, the Euclidean MST over the terminal set is the standard
+    Steiner-tree surrogate (within a factor 2/sqrt(3) of the Steiner minimal
+    tree); the ISP backbone designer uses it as its starting skeleton.
+    """
+    topology = Topology(name=name)
+    for index, location in enumerate(locations):
+        topology.add_node(index, location=location)
+    for u, v in prim_mst_points(list(locations)):
+        topology.add_link(u, v, length=euclidean(locations[u], locations[v]))
+    return topology
+
+
+def steiner_tree_cost(
+    tree: Topology, weight: Optional[Callable[[Link], float]] = None
+) -> float:
+    """Total weight of a Steiner tree (defaults to total length)."""
+    if weight is None:
+        return sum(link.length if link.length > 0 else 1.0 for link in tree.links())
+    return sum(weight(link) for link in tree.links())
+
+
+def _prune_non_terminal_leaves(tree: Topology, terminals: Set[Any]) -> None:
+    """Iteratively remove degree-1 nodes that are not terminals (in place)."""
+    changed = True
+    while changed:
+        changed = False
+        for node_id in list(tree.node_ids()):
+            if node_id not in terminals and tree.degree(node_id) <= 1:
+                tree.remove_node(node_id)
+                changed = True

@@ -1,0 +1,35 @@
+"""Routing substrate: path selection, demand assignment, utilization analysis."""
+
+from .paths import (
+    PathCache,
+    WEIGHT_FUNCTIONS,
+    k_shortest_node_disjoint_paths,
+    resolve_weight,
+    shortest_path_between,
+)
+from .assignment import (
+    AssignmentResult,
+    assign_demand,
+    route_customer_demand_to_core,
+)
+from .utilization import (
+    UtilizationReport,
+    load_concentration,
+    most_loaded_links,
+    utilization_report,
+)
+
+__all__ = [
+    "PathCache",
+    "WEIGHT_FUNCTIONS",
+    "k_shortest_node_disjoint_paths",
+    "resolve_weight",
+    "shortest_path_between",
+    "AssignmentResult",
+    "assign_demand",
+    "route_customer_demand_to_core",
+    "UtilizationReport",
+    "load_concentration",
+    "most_loaded_links",
+    "utilization_report",
+]

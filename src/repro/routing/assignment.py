@@ -1,0 +1,126 @@
+"""Traffic assignment: route a demand matrix and accumulate link loads."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..geography.demand import DemandMatrix
+from ..topology.graph import Topology
+from .paths import PathCache, resolve_weight
+
+
+@dataclass
+class AssignmentResult:
+    """Result of routing a demand matrix over a topology.
+
+    Attributes:
+        routed_volume: Total demand successfully routed.
+        unrouted_pairs: Demand pairs with no path, with their volumes.
+        link_loads: Load per canonical link key after assignment.
+        paths: The node path used for each routed (a, b) pair.
+    """
+
+    routed_volume: float = 0.0
+    unrouted_pairs: List[Tuple[str, str, float]] = field(default_factory=list)
+    link_loads: Dict[Tuple[Any, Any], float] = field(default_factory=dict)
+    paths: Dict[Tuple[str, str], List[Any]] = field(default_factory=dict)
+
+    @property
+    def unrouted_volume(self) -> float:
+        """Total demand that could not be routed."""
+        return sum(volume for _, _, volume in self.unrouted_pairs)
+
+
+def assign_demand(
+    topology: Topology,
+    demand: DemandMatrix,
+    endpoint_map: Optional[Dict[str, Any]] = None,
+    weight: Optional[str] = None,
+    reset_loads: bool = True,
+) -> AssignmentResult:
+    """Route every demand pair over its shortest path and add loads to links.
+
+    Args:
+        topology: Topology whose link ``load`` fields receive the traffic.
+        demand: Demand matrix between named endpoints.
+        endpoint_map: Maps demand endpoint names to topology node ids
+            (identity mapping when omitted).
+        weight: Named weight function for path selection (default: length).
+        reset_loads: Zero all link loads before assignment.
+
+    Returns:
+        An :class:`AssignmentResult`; unrouted pairs (missing nodes or
+        disconnected endpoints) are recorded rather than raising.
+    """
+    endpoint_map = endpoint_map or {}
+    cache = PathCache(topology, resolve_weight(weight))
+    if reset_loads:
+        for link in topology.links():
+            link.load = 0.0
+
+    result = AssignmentResult()
+    for a, b, volume in demand.pairs():
+        node_a = endpoint_map.get(a, a)
+        node_b = endpoint_map.get(b, b)
+        if not (topology.has_node(node_a) and topology.has_node(node_b)):
+            result.unrouted_pairs.append((a, b, volume))
+            continue
+        path = cache.path(node_a, node_b)
+        if path is None:
+            result.unrouted_pairs.append((a, b, volume))
+            continue
+        for u, v in zip(path, path[1:]):
+            link = topology.link(u, v)
+            link.load += volume
+            result.link_loads[link.key] = result.link_loads.get(link.key, 0.0) + volume
+        result.paths[(a, b)] = path
+        result.routed_volume += volume
+    return result
+
+
+def route_customer_demand_to_core(
+    topology: Topology, weight: Optional[str] = None, reset_loads: bool = True
+) -> AssignmentResult:
+    """Route every customer node's demand to its nearest core node.
+
+    This is the access-traffic pattern of the paper's formulations: customers
+    send/receive through the ISP core rather than to each other directly.
+    """
+    from ..topology.node import NodeRole
+
+    cores = [n.node_id for n in topology.nodes() if n.role == NodeRole.CORE]
+    customers = [n for n in topology.nodes() if n.role == NodeRole.CUSTOMER and n.demand > 0]
+    if reset_loads:
+        for link in topology.links():
+            link.load = 0.0
+    result = AssignmentResult()
+    if not cores:
+        result.unrouted_pairs = [
+            (str(c.node_id), "<no-core>", c.demand) for c in customers
+        ]
+        return result
+
+    cache = PathCache(topology, resolve_weight(weight))
+    for customer in customers:
+        best_core = None
+        best_distance = float("inf")
+        for core in cores:
+            distance = cache.distance(customer.node_id, core)
+            if distance < best_distance:
+                best_distance = distance
+                best_core = core
+        if best_core is None or best_distance == float("inf"):
+            result.unrouted_pairs.append((str(customer.node_id), "<unreachable>", customer.demand))
+            continue
+        path = cache.path(customer.node_id, best_core)
+        if path is None:
+            result.unrouted_pairs.append((str(customer.node_id), str(best_core), customer.demand))
+            continue
+        for u, v in zip(path, path[1:]):
+            link = topology.link(u, v)
+            link.load += customer.demand
+            result.link_loads[link.key] = result.link_loads.get(link.key, 0.0) + customer.demand
+        result.paths[(str(customer.node_id), str(best_core))] = path
+        result.routed_volume += customer.demand
+    return result

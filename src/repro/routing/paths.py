@@ -1,0 +1,105 @@
+"""Path selection for traffic routing over annotated topologies.
+
+Routing is a substrate of the evaluation, not a contribution of the paper:
+backbone provisioning (E4) and utilization analysis need demand routed over
+shortest paths so that link loads (and hence cable choices and costs) can be
+computed.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..optimization.shortest_path import dijkstra, reconstruct_path
+from ..topology.graph import Topology
+from ..topology.link import Link
+
+
+#: Weight functions selectable by name.
+WEIGHT_FUNCTIONS: Dict[str, Callable[[Link], float]] = {
+    "length": lambda link: link.length if link.length > 0 else 1.0,
+    "hops": lambda link: 1.0,
+    "inverse-capacity": lambda link: (
+        1.0 / link.capacity if link.capacity else 1.0
+    ),
+}
+
+
+class PathCache:
+    """Caches single-source shortest-path computations for repeated queries."""
+
+    def __init__(self, topology: Topology, weight: Callable[[Link], float]) -> None:
+        self._topology = topology
+        self._weight = weight
+        self._cache: Dict[Any, Tuple[Dict[Any, float], Dict[Any, Any]]] = {}
+
+    def path(self, source: Any, target: Any) -> Optional[List[Any]]:
+        """Shortest path between two nodes, or ``None`` when unreachable."""
+        if source not in self._cache:
+            self._cache[source] = dijkstra(self._topology, source, self._weight)
+        distances, predecessors = self._cache[source]
+        if target not in distances:
+            return None
+        return reconstruct_path(predecessors, source, target)
+
+    def distance(self, source: Any, target: Any) -> float:
+        """Shortest-path distance, ``inf`` when unreachable."""
+        if source not in self._cache:
+            self._cache[source] = dijkstra(self._topology, source, self._weight)
+        distances, _ = self._cache[source]
+        return distances.get(target, float("inf"))
+
+    def invalidate(self) -> None:
+        """Clear the cache (call after the topology changes)."""
+        self._cache.clear()
+
+
+def resolve_weight(weight: Optional[str]) -> Callable[[Link], float]:
+    """Look up a weight function by name (``None`` → length-based)."""
+    if weight is None:
+        return WEIGHT_FUNCTIONS["length"]
+    if weight not in WEIGHT_FUNCTIONS:
+        raise KeyError(
+            f"unknown weight {weight!r}; available: {sorted(WEIGHT_FUNCTIONS)}"
+        )
+    return WEIGHT_FUNCTIONS[weight]
+
+
+def shortest_path_between(
+    topology: Topology, source: Any, target: Any, weight: Optional[str] = None
+) -> Optional[List[Any]]:
+    """One-off shortest path using a named weight function."""
+    cache = PathCache(topology, resolve_weight(weight))
+    return cache.path(source, target)
+
+
+def k_shortest_node_disjoint_paths(
+    topology: Topology, source: Any, target: Any, k: int = 2, weight: Optional[str] = None
+) -> List[List[Any]]:
+    """Up to ``k`` node-disjoint paths, found by iterative removal.
+
+    A simple (not optimal) disjoint-path heuristic: find a shortest path,
+    delete its interior nodes, repeat.  Used by the redundancy analysis in E7
+    to check how many independent routes customers have after backup links are
+    added.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    weight_function = resolve_weight(weight)
+    working = topology.copy()
+    paths: List[List[Any]] = []
+    for _ in range(k):
+        if not (working.has_node(source) and working.has_node(target)):
+            break
+        distances, predecessors = dijkstra(working, source, weight_function)
+        if target not in distances:
+            break
+        path = reconstruct_path(predecessors, source, target)
+        paths.append(path)
+        for node in path[1:-1]:
+            working.remove_node(node)
+        if len(path) == 2:
+            # Direct link: remove it so the next iteration finds another route.
+            if working.has_link(source, target):
+                working.remove_link(source, target)
+    return paths

@@ -1,0 +1,88 @@
+"""Link utilization analysis of loaded, provisioned topologies."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..topology.graph import Topology
+
+
+@dataclass
+class UtilizationReport:
+    """Aggregate utilization statistics of a topology.
+
+    Attributes:
+        mean_utilization: Mean load/capacity over links with finite capacity.
+        peak_utilization: Maximum utilization.
+        overloaded_links: Canonical keys of links with load > capacity.
+        total_load: Sum of link loads.
+        total_capacity: Sum of installed capacities (finite ones only).
+        utilization_histogram: Counts of links in 10%-wide utilization bins
+            (keys 0.0, 0.1, ..., 0.9; the last bin also holds >100%).
+    """
+
+    mean_utilization: float
+    peak_utilization: float
+    overloaded_links: List[Tuple]
+    total_load: float
+    total_capacity: float
+    utilization_histogram: Dict[float, int]
+
+
+def utilization_report(topology: Topology) -> UtilizationReport:
+    """Compute utilization statistics over all capacity-annotated links."""
+    utilizations = []
+    overloaded = []
+    total_load = 0.0
+    total_capacity = 0.0
+    histogram: Dict[float, int] = {round(b / 10.0, 1): 0 for b in range(10)}
+    for link in topology.links():
+        total_load += link.load
+        if link.capacity is None or link.capacity <= 0:
+            continue
+        total_capacity += link.capacity
+        utilization = link.load / link.capacity
+        utilizations.append(utilization)
+        if link.load > link.capacity + 1e-9:
+            overloaded.append(link.key)
+        bin_key = round(min(0.9, (int(utilization * 10) / 10.0)), 1)
+        histogram[bin_key] += 1
+    mean = sum(utilizations) / len(utilizations) if utilizations else 0.0
+    peak = max(utilizations) if utilizations else 0.0
+    return UtilizationReport(
+        mean_utilization=mean,
+        peak_utilization=peak,
+        overloaded_links=overloaded,
+        total_load=total_load,
+        total_capacity=total_capacity,
+        utilization_histogram=histogram,
+    )
+
+
+def most_loaded_links(topology: Topology, k: int = 10) -> List[Tuple[Tuple, float]]:
+    """The ``k`` links carrying the most traffic, as (key, load) pairs."""
+    if k < 0:
+        raise ValueError("k must be non-negative")
+    ranked = sorted(
+        ((link.key, link.load) for link in topology.links()),
+        key=lambda item: item[1],
+        reverse=True,
+    )
+    return ranked[:k]
+
+
+def load_concentration(topology: Topology, top_fraction: float = 0.1) -> float:
+    """Fraction of total traffic carried by the top ``top_fraction`` of links.
+
+    HOT-style aggregation concentrates traffic onto a few high-capacity trunks
+    (values near 1); uniform meshes spread it out.
+    """
+    if not 0 < top_fraction <= 1:
+        raise ValueError("top_fraction must be in (0, 1]")
+    loads = sorted((link.load for link in topology.links()), reverse=True)
+    total = sum(loads)
+    if total <= 0:
+        return 0.0
+    top_count = max(1, int(round(top_fraction * len(loads))))
+    return sum(loads[:top_count]) / total

@@ -1,0 +1,108 @@
+"""Convenience builder for constructing annotated topologies fluently.
+
+The builder is a thin layer over :class:`~repro.topology.graph.Topology`
+providing automatic node-id allocation and role-specific helpers, used by the
+ISP generator and by the examples.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Tuple
+
+from .graph import Topology
+from .link import Link
+from .node import NodeRole
+
+
+class TopologyBuilder:
+    """Incrementally build a :class:`Topology` with auto-generated node ids.
+
+    Node identifiers are strings of the form ``"<prefix><counter>"`` where the
+    prefix defaults to the first letter of the node role (``c0``, ``b1``, ...).
+
+    Example:
+        >>> builder = TopologyBuilder(name="demo")
+        >>> core = builder.add_core((0.5, 0.5))
+        >>> cust = builder.add_customer((0.1, 0.2), demand=5.0)
+        >>> _ = builder.connect(core, cust, capacity=100.0)
+        >>> builder.topology.num_links
+        1
+    """
+
+    _ROLE_PREFIX = {
+        NodeRole.CORE: "core",
+        NodeRole.BACKBONE: "bb",
+        NodeRole.DISTRIBUTION: "dist",
+        NodeRole.ACCESS: "acc",
+        NodeRole.CUSTOMER: "cust",
+        NodeRole.PEERING: "peer",
+        NodeRole.GENERIC: "n",
+    }
+
+    def __init__(self, name: str = "topology") -> None:
+        self.topology = Topology(name=name)
+        self._counter = 0
+
+    def _next_id(self, role: NodeRole, explicit: Optional[Any]) -> Any:
+        if explicit is not None:
+            return explicit
+        node_id = f"{self._ROLE_PREFIX[role]}{self._counter}"
+        self._counter += 1
+        return node_id
+
+    def add(
+        self,
+        role: NodeRole,
+        location: Optional[Tuple[float, float]] = None,
+        node_id: Optional[Any] = None,
+        **kwargs: Any,
+    ) -> Any:
+        """Add a node with the given role; returns the node identifier."""
+        node_id = self._next_id(role, node_id)
+        self.topology.add_node(node_id, role=role, location=location, **kwargs)
+        return node_id
+
+    def add_core(self, location: Optional[Tuple[float, float]] = None, **kwargs: Any) -> Any:
+        """Add a core (WAN) node."""
+        return self.add(NodeRole.CORE, location, **kwargs)
+
+    def add_backbone(self, location: Optional[Tuple[float, float]] = None, **kwargs: Any) -> Any:
+        """Add a backbone node."""
+        return self.add(NodeRole.BACKBONE, location, **kwargs)
+
+    def add_distribution(
+        self, location: Optional[Tuple[float, float]] = None, **kwargs: Any
+    ) -> Any:
+        """Add a distribution (MAN) node."""
+        return self.add(NodeRole.DISTRIBUTION, location, **kwargs)
+
+    def add_access(self, location: Optional[Tuple[float, float]] = None, **kwargs: Any) -> Any:
+        """Add an access node (customer-facing aggregation point)."""
+        return self.add(NodeRole.ACCESS, location, **kwargs)
+
+    def add_customer(
+        self,
+        location: Optional[Tuple[float, float]] = None,
+        demand: float = 1.0,
+        **kwargs: Any,
+    ) -> Any:
+        """Add a customer (LAN) node with a traffic demand."""
+        return self.add(NodeRole.CUSTOMER, location, demand=demand, **kwargs)
+
+    def add_peering(self, location: Optional[Tuple[float, float]] = None, **kwargs: Any) -> Any:
+        """Add a peering point node."""
+        return self.add(NodeRole.PEERING, location, **kwargs)
+
+    def connect(self, u: Any, v: Any, **kwargs: Any) -> Link:
+        """Add a link between two previously added nodes."""
+        return self.topology.add_link(u, v, **kwargs)
+
+    def connect_if_absent(self, u: Any, v: Any, **kwargs: Any) -> Optional[Link]:
+        """Add a link unless one already exists; returns ``None`` if skipped."""
+        if self.topology.has_link(u, v):
+            return None
+        return self.topology.add_link(u, v, **kwargs)
+
+    def build(self) -> Topology:
+        """Return the built topology."""
+        return self.topology

@@ -1,0 +1,480 @@
+"""Annotated undirected topology graph.
+
+:class:`Topology` is the central data structure of the library.  It is an
+undirected graph whose nodes and links carry the annotations (role, location,
+capacity, cost) that the paper argues are an inseparable part of "topology".
+All generators — the optimization-driven ones in :mod:`repro.core` and the
+descriptive baselines in :mod:`repro.generators` — produce ``Topology``
+instances, and all metrics in :mod:`repro.metrics` consume them.
+
+The implementation is a plain adjacency-dictionary graph, independent of
+networkx; :mod:`repro.topology.serialization` provides conversion helpers for
+interoperability.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import (
+    Any,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from .link import Link, edge_key
+from .node import Node, NodeRole
+
+
+class TopologyError(Exception):
+    """Raised for structural errors (missing nodes, duplicate links, ...)."""
+
+
+class Topology:
+    """An undirected graph with annotated nodes and links.
+
+    Args:
+        name: Human-readable name for the topology (e.g. the generator that
+            produced it).
+
+    Example:
+        >>> topo = Topology(name="example")
+        >>> topo.add_node("a", role=NodeRole.CORE, location=(0.0, 0.0))
+        >>> topo.add_node("b", role=NodeRole.CUSTOMER, location=(1.0, 0.0))
+        >>> _ = topo.add_link("a", "b", capacity=100.0)
+        >>> topo.degree("a")
+        1
+    """
+
+    def __init__(self, name: str = "topology") -> None:
+        self.name = name
+        self._nodes: Dict[Any, Node] = {}
+        self._adjacency: Dict[Any, Dict[Any, Link]] = {}
+        self._links: Dict[Tuple[Any, Any], Link] = {}
+        self.metadata: Dict[str, Any] = {}
+
+    # ------------------------------------------------------------------
+    # Node operations
+    # ------------------------------------------------------------------
+    def add_node(
+        self,
+        node_id: Any,
+        role: NodeRole = NodeRole.GENERIC,
+        location: Optional[Tuple[float, float]] = None,
+        capacity: Optional[float] = None,
+        demand: float = 0.0,
+        max_degree: Optional[int] = None,
+        city: Optional[str] = None,
+        **attributes: Any,
+    ) -> Node:
+        """Add a node; raises :class:`TopologyError` if it already exists."""
+        if node_id in self._nodes:
+            raise TopologyError(f"node {node_id!r} already exists")
+        node = Node(
+            node_id=node_id,
+            role=role,
+            location=location,
+            capacity=capacity,
+            demand=demand,
+            max_degree=max_degree,
+            city=city,
+            attributes=dict(attributes),
+        )
+        self._nodes[node_id] = node
+        self._adjacency[node_id] = {}
+        return node
+
+    def add_node_object(self, node: Node) -> Node:
+        """Add an already-constructed :class:`Node` instance."""
+        if node.node_id in self._nodes:
+            raise TopologyError(f"node {node.node_id!r} already exists")
+        self._nodes[node.node_id] = node
+        self._adjacency[node.node_id] = {}
+        return node
+
+    def ensure_node(self, node_id: Any, **kwargs: Any) -> Node:
+        """Return the existing node, or add it if missing."""
+        if node_id in self._nodes:
+            return self._nodes[node_id]
+        return self.add_node(node_id, **kwargs)
+
+    def remove_node(self, node_id: Any) -> None:
+        """Remove a node and all links incident to it."""
+        self._require_node(node_id)
+        for neighbor in list(self._adjacency[node_id]):
+            self.remove_link(node_id, neighbor)
+        del self._adjacency[node_id]
+        del self._nodes[node_id]
+
+    def has_node(self, node_id: Any) -> bool:
+        """Return True if the node exists."""
+        return node_id in self._nodes
+
+    def node(self, node_id: Any) -> Node:
+        """Return the :class:`Node` object for ``node_id``."""
+        self._require_node(node_id)
+        return self._nodes[node_id]
+
+    def nodes(self) -> Iterator[Node]:
+        """Iterate over node objects."""
+        return iter(self._nodes.values())
+
+    def node_ids(self) -> Iterator[Any]:
+        """Iterate over node identifiers."""
+        return iter(self._nodes.keys())
+
+    def nodes_by_role(self, role: NodeRole) -> List[Node]:
+        """Return all nodes with a given role."""
+        return [node for node in self._nodes.values() if node.role == role]
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes."""
+        return len(self._nodes)
+
+    # ------------------------------------------------------------------
+    # Link operations
+    # ------------------------------------------------------------------
+    def add_link(
+        self,
+        u: Any,
+        v: Any,
+        capacity: Optional[float] = None,
+        length: Optional[float] = None,
+        cable: Optional[str] = None,
+        install_cost: float = 0.0,
+        usage_cost: float = 0.0,
+        load: float = 0.0,
+        **attributes: Any,
+    ) -> Link:
+        """Add an undirected link between existing nodes ``u`` and ``v``.
+
+        If ``length`` is not given and both endpoints have locations, the
+        Euclidean distance between them is used.
+
+        Raises:
+            TopologyError: if either endpoint is missing, the link already
+                exists, or a degree constraint on an endpoint is violated.
+        """
+        self._require_node(u)
+        self._require_node(v)
+        key = edge_key(u, v)
+        if key in self._links:
+            raise TopologyError(f"link {key} already exists")
+        for endpoint in (u, v):
+            limit = self._nodes[endpoint].max_degree
+            if limit is not None and self.degree(endpoint) >= limit:
+                raise TopologyError(
+                    f"adding link {key} would exceed max_degree={limit} "
+                    f"of node {endpoint!r}"
+                )
+        if length is None:
+            length = self._euclidean_length(u, v)
+        link = Link(
+            source=u,
+            target=v,
+            capacity=capacity,
+            length=length,
+            cable=cable,
+            install_cost=install_cost,
+            usage_cost=usage_cost,
+            load=load,
+            attributes=dict(attributes),
+        )
+        self._links[key] = link
+        self._adjacency[u][v] = link
+        self._adjacency[v][u] = link
+        return link
+
+    def add_link_object(self, link: Link) -> Link:
+        """Add an already-constructed :class:`Link` instance."""
+        self._require_node(link.source)
+        self._require_node(link.target)
+        key = link.key
+        if key in self._links:
+            raise TopologyError(f"link {key} already exists")
+        self._links[key] = link
+        self._adjacency[link.source][link.target] = link
+        self._adjacency[link.target][link.source] = link
+        return link
+
+    def remove_link(self, u: Any, v: Any) -> None:
+        """Remove the link between ``u`` and ``v``."""
+        key = edge_key(u, v)
+        if key not in self._links:
+            raise TopologyError(f"link {key} does not exist")
+        del self._links[key]
+        del self._adjacency[u][v]
+        del self._adjacency[v][u]
+
+    def has_link(self, u: Any, v: Any) -> bool:
+        """Return True if a link between ``u`` and ``v`` exists."""
+        if u == v:
+            return False
+        return edge_key(u, v) in self._links
+
+    def link(self, u: Any, v: Any) -> Link:
+        """Return the :class:`Link` between ``u`` and ``v``."""
+        key = edge_key(u, v)
+        if key not in self._links:
+            raise TopologyError(f"link {key} does not exist")
+        return self._links[key]
+
+    def links(self) -> Iterator[Link]:
+        """Iterate over link objects."""
+        return iter(self._links.values())
+
+    def link_keys(self) -> Iterator[Tuple[Any, Any]]:
+        """Iterate over canonical link keys."""
+        return iter(self._links.keys())
+
+    @property
+    def num_links(self) -> int:
+        """Number of links."""
+        return len(self._links)
+
+    # ------------------------------------------------------------------
+    # Neighborhood / degree
+    # ------------------------------------------------------------------
+    def neighbors(self, node_id: Any) -> List[Any]:
+        """Return the neighbor identifiers of a node."""
+        self._require_node(node_id)
+        return list(self._adjacency[node_id].keys())
+
+    def incident_links(self, node_id: Any) -> List[Link]:
+        """Return the links incident to a node."""
+        self._require_node(node_id)
+        return list(self._adjacency[node_id].values())
+
+    def degree(self, node_id: Any) -> int:
+        """Return the degree of a node."""
+        self._require_node(node_id)
+        return len(self._adjacency[node_id])
+
+    def degree_sequence(self) -> List[int]:
+        """Return the degree of every node, in node-insertion order."""
+        return [len(self._adjacency[n]) for n in self._nodes]
+
+    def max_degree_node(self) -> Any:
+        """Return the identifier of a node of maximum degree."""
+        if not self._nodes:
+            raise TopologyError("topology has no nodes")
+        return max(self._nodes, key=lambda n: len(self._adjacency[n]))
+
+    # ------------------------------------------------------------------
+    # Traversal / structure
+    # ------------------------------------------------------------------
+    def bfs_order(self, source: Any) -> List[Any]:
+        """Return nodes reachable from ``source`` in BFS order."""
+        self._require_node(source)
+        visited = {source}
+        order = [source]
+        queue = deque([source])
+        while queue:
+            current = queue.popleft()
+            for neighbor in self._adjacency[current]:
+                if neighbor not in visited:
+                    visited.add(neighbor)
+                    order.append(neighbor)
+                    queue.append(neighbor)
+        return order
+
+    def hop_distances(self, source: Any) -> Dict[Any, int]:
+        """Return BFS hop distances from ``source`` to every reachable node."""
+        self._require_node(source)
+        distances = {source: 0}
+        queue = deque([source])
+        while queue:
+            current = queue.popleft()
+            for neighbor in self._adjacency[current]:
+                if neighbor not in distances:
+                    distances[neighbor] = distances[current] + 1
+                    queue.append(neighbor)
+        return distances
+
+    def connected_components(self) -> List[Set[Any]]:
+        """Return the connected components as sets of node identifiers."""
+        remaining = set(self._nodes)
+        components: List[Set[Any]] = []
+        while remaining:
+            seed = next(iter(remaining))
+            component = set(self.bfs_order(seed))
+            components.append(component)
+            remaining -= component
+        return components
+
+    def is_connected(self) -> bool:
+        """Return True if the topology is connected (and non-empty)."""
+        if not self._nodes:
+            return False
+        return len(self.bfs_order(next(iter(self._nodes)))) == len(self._nodes)
+
+    def is_tree(self) -> bool:
+        """Return True if the topology is a connected acyclic graph."""
+        if not self._nodes:
+            return False
+        return self.is_connected() and self.num_links == self.num_nodes - 1
+
+    def is_forest(self) -> bool:
+        """Return True if the topology contains no cycles."""
+        return self.num_links == self.num_nodes - len(self.connected_components())
+
+    def subgraph(self, node_ids: Iterable[Any], name: Optional[str] = None) -> "Topology":
+        """Return the induced subgraph on ``node_ids`` (copies annotations)."""
+        keep = set(node_ids)
+        missing = keep - set(self._nodes)
+        if missing:
+            raise TopologyError(f"nodes not in topology: {sorted(map(repr, missing))}")
+        sub = Topology(name=name or f"{self.name}-subgraph")
+        for node_id in keep:
+            sub.add_node_object(self._copy_node(self._nodes[node_id]))
+        for link in self._links.values():
+            if link.source in keep and link.target in keep:
+                sub.add_link_object(self._copy_link(link))
+        return sub
+
+    def copy(self, name: Optional[str] = None) -> "Topology":
+        """Return a deep copy of the topology."""
+        duplicate = self.subgraph(self._nodes.keys(), name=name or self.name)
+        duplicate.metadata = dict(self.metadata)
+        return duplicate
+
+    # ------------------------------------------------------------------
+    # Aggregate annotations
+    # ------------------------------------------------------------------
+    def total_install_cost(self) -> float:
+        """Sum of installation costs over all links."""
+        return sum(link.install_cost for link in self._links.values())
+
+    def total_usage_cost(self) -> float:
+        """Sum of usage costs (marginal cost times load) over all links."""
+        return sum(link.usage_cost * link.load for link in self._links.values())
+
+    def total_cost(self) -> float:
+        """Total cost of the topology (installation plus usage)."""
+        return self.total_install_cost() + self.total_usage_cost()
+
+    def total_length(self) -> float:
+        """Sum of link lengths (total installed fiber mileage)."""
+        return sum(link.length for link in self._links.values())
+
+    def total_demand(self) -> float:
+        """Sum of node demands (total customer traffic)."""
+        return sum(node.demand for node in self._nodes.values())
+
+    def role_counts(self) -> Dict[NodeRole, int]:
+        """Number of nodes per role."""
+        counts: Dict[NodeRole, int] = {}
+        for node in self._nodes.values():
+            counts[node.role] = counts.get(node.role, 0) + 1
+        return counts
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def validate(self) -> List[str]:
+        """Return a list of consistency problems (empty when valid).
+
+        Checks adjacency/link-dictionary consistency, degree constraints, and
+        capacity violations (load exceeding installed capacity).
+        """
+        problems: List[str] = []
+        for key, link in self._links.items():
+            if link.source not in self._nodes or link.target not in self._nodes:
+                problems.append(f"link {key} references missing node")
+            if link.capacity is not None and link.load > link.capacity + 1e-9:
+                problems.append(
+                    f"link {key} overloaded: load {link.load} > capacity {link.capacity}"
+                )
+        for node_id, neighbors in self._adjacency.items():
+            limit = self._nodes[node_id].max_degree
+            if limit is not None and len(neighbors) > limit:
+                problems.append(
+                    f"node {node_id!r} violates max_degree {limit} with degree {len(neighbors)}"
+                )
+            for neighbor, link in neighbors.items():
+                if edge_key(node_id, neighbor) not in self._links:
+                    problems.append(
+                        f"adjacency entry ({node_id!r}, {neighbor!r}) missing from link table"
+                    )
+                if node_id not in (link.source, link.target):
+                    problems.append(f"link {link.key} stored under wrong node {node_id!r}")
+        return problems
+
+    # ------------------------------------------------------------------
+    # Internal helpers
+    # ------------------------------------------------------------------
+    def _require_node(self, node_id: Any) -> None:
+        if node_id not in self._nodes:
+            raise TopologyError(f"node {node_id!r} is not in the topology")
+
+    def _euclidean_length(self, u: Any, v: Any) -> float:
+        loc_u = self._nodes[u].location
+        loc_v = self._nodes[v].location
+        if loc_u is None or loc_v is None:
+            return 0.0
+        return ((loc_u[0] - loc_v[0]) ** 2 + (loc_u[1] - loc_v[1]) ** 2) ** 0.5
+
+    @staticmethod
+    def _copy_node(node: Node) -> Node:
+        return Node(
+            node_id=node.node_id,
+            role=node.role,
+            location=node.location,
+            capacity=node.capacity,
+            demand=node.demand,
+            max_degree=node.max_degree,
+            city=node.city,
+            attributes=dict(node.attributes),
+        )
+
+    @staticmethod
+    def _copy_link(link: Link) -> Link:
+        return Link(
+            source=link.source,
+            target=link.target,
+            capacity=link.capacity,
+            length=link.length,
+            cable=link.cable,
+            install_cost=link.install_cost,
+            usage_cost=link.usage_cost,
+            load=link.load,
+            attributes=dict(link.attributes),
+        )
+
+    # ------------------------------------------------------------------
+    # Dunder methods
+    # ------------------------------------------------------------------
+    def __contains__(self, node_id: Any) -> bool:
+        return node_id in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __repr__(self) -> str:
+        return (
+            f"Topology(name={self.name!r}, nodes={self.num_nodes}, "
+            f"links={self.num_links})"
+        )
+
+
+def union(topologies: Sequence[Topology], name: str = "union") -> Topology:
+    """Return the disjoint-aware union of several topologies.
+
+    Nodes appearing in multiple topologies are merged (first occurrence wins
+    for annotations); duplicate links are kept once.
+    """
+    merged = Topology(name=name)
+    for topo in topologies:
+        for node in topo.nodes():
+            if not merged.has_node(node.node_id):
+                merged.add_node_object(Topology._copy_node(node))
+        for link in topo.links():
+            if not merged.has_link(link.source, link.target):
+                merged.add_link_object(Topology._copy_link(link))
+    return merged

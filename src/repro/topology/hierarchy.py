@@ -1,0 +1,176 @@
+"""Hierarchy analysis for ISP topologies.
+
+Section 2.2 of the paper describes the decomposition of an ISP network into
+backbone (WAN), distribution (MAN), and customer (LAN) levels.  This module
+provides helpers to inspect and summarize that hierarchy on an annotated
+:class:`~repro.topology.graph.Topology`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Tuple
+
+from .graph import Topology
+from .node import NodeRole, ROLE_RANK
+
+
+#: Human-readable level names, ordered from the core outwards.
+LEVEL_NAMES: Tuple[str, ...] = ("core", "backbone", "distribution", "access", "customer")
+
+_ROLE_TO_LEVEL: Dict[NodeRole, str] = {
+    NodeRole.CORE: "core",
+    NodeRole.BACKBONE: "backbone",
+    NodeRole.PEERING: "backbone",
+    NodeRole.DISTRIBUTION: "distribution",
+    NodeRole.ACCESS: "access",
+    NodeRole.CUSTOMER: "customer",
+    NodeRole.GENERIC: "customer",
+}
+
+
+def level_of(role: NodeRole) -> str:
+    """Map a node role to its hierarchy level name."""
+    return _ROLE_TO_LEVEL[role]
+
+
+@dataclass
+class HierarchySummary:
+    """Aggregate statistics of the WAN/MAN/LAN hierarchy of a topology.
+
+    Attributes:
+        level_counts: Number of nodes per hierarchy level.
+        intra_level_links: Number of links whose endpoints share a level.
+        inter_level_links: Number of links whose endpoints differ in level.
+        level_link_matrix: Link counts keyed by (level, level) pairs with the
+            lexicographically smaller level first.
+        backbone_fraction: Fraction of nodes in the core or backbone levels.
+        mean_customer_depth: Mean hop distance from customers to the nearest
+            core node (``nan`` if there are no core nodes or customers).
+    """
+
+    level_counts: Dict[str, int] = field(default_factory=dict)
+    intra_level_links: int = 0
+    inter_level_links: int = 0
+    level_link_matrix: Dict[Tuple[str, str], int] = field(default_factory=dict)
+    backbone_fraction: float = 0.0
+    mean_customer_depth: float = float("nan")
+
+    def count(self, level: str) -> int:
+        """Node count for a level (0 if absent)."""
+        return self.level_counts.get(level, 0)
+
+
+def summarize_hierarchy(topology: Topology) -> HierarchySummary:
+    """Compute a :class:`HierarchySummary` for a topology."""
+    level_counts: Dict[str, int] = {}
+    for node in topology.nodes():
+        level = level_of(node.role)
+        level_counts[level] = level_counts.get(level, 0) + 1
+
+    intra = 0
+    inter = 0
+    matrix: Dict[Tuple[str, str], int] = {}
+    for link in topology.links():
+        lu = level_of(topology.node(link.source).role)
+        lv = level_of(topology.node(link.target).role)
+        key = (lu, lv) if lu <= lv else (lv, lu)
+        matrix[key] = matrix.get(key, 0) + 1
+        if lu == lv:
+            intra += 1
+        else:
+            inter += 1
+
+    total_nodes = topology.num_nodes
+    backbone_nodes = level_counts.get("core", 0) + level_counts.get("backbone", 0)
+    backbone_fraction = backbone_nodes / total_nodes if total_nodes else 0.0
+
+    return HierarchySummary(
+        level_counts=level_counts,
+        intra_level_links=intra,
+        inter_level_links=inter,
+        level_link_matrix=matrix,
+        backbone_fraction=backbone_fraction,
+        mean_customer_depth=_mean_customer_depth(topology),
+    )
+
+
+def _mean_customer_depth(topology: Topology) -> float:
+    """Mean BFS hop distance from each customer to its nearest core node."""
+    cores = [n.node_id for n in topology.nodes() if n.role == NodeRole.CORE]
+    customers = [n.node_id for n in topology.nodes() if n.role == NodeRole.CUSTOMER]
+    if not cores or not customers:
+        return float("nan")
+    best: Dict[Any, int] = {}
+    for core in cores:
+        for node_id, dist in topology.hop_distances(core).items():
+            if node_id not in best or dist < best[node_id]:
+                best[node_id] = dist
+    depths = [best[c] for c in customers if c in best]
+    if not depths:
+        return float("nan")
+    return sum(depths) / len(depths)
+
+
+def assign_levels_by_distance(topology: Topology, core_nodes: List[Any]) -> Dict[Any, str]:
+    """Assign hierarchy levels from BFS distance to the nearest core node.
+
+    This is useful for topologies produced by generators that do not annotate
+    roles (e.g. the descriptive baselines): nodes at distance 0 are ``core``,
+    distance 1 ``backbone``, distance 2 ``distribution``, distance 3
+    ``access``, and everything further is ``customer``.
+
+    Returns:
+        Mapping from node identifier to level name; unreachable nodes map to
+        ``customer``.
+    """
+    for core in core_nodes:
+        if not topology.has_node(core):
+            raise ValueError(f"core node {core!r} is not in the topology")
+    best: Dict[Any, int] = {}
+    for core in core_nodes:
+        for node_id, dist in topology.hop_distances(core).items():
+            if node_id not in best or dist < best[node_id]:
+                best[node_id] = dist
+    assignment: Dict[Any, str] = {}
+    for node_id in topology.node_ids():
+        dist = best.get(node_id)
+        if dist is None:
+            assignment[node_id] = "customer"
+        else:
+            assignment[node_id] = LEVEL_NAMES[min(dist, len(LEVEL_NAMES) - 1)]
+    return assignment
+
+
+def relabel_roles_from_levels(topology: Topology, assignment: Dict[Any, str]) -> None:
+    """Overwrite node roles in-place according to a level assignment."""
+    level_to_role = {
+        "core": NodeRole.CORE,
+        "backbone": NodeRole.BACKBONE,
+        "distribution": NodeRole.DISTRIBUTION,
+        "access": NodeRole.ACCESS,
+        "customer": NodeRole.CUSTOMER,
+    }
+    for node_id, level in assignment.items():
+        node = topology.node(node_id)
+        node.role = level_to_role[level]
+
+
+def is_downward_tree(topology: Topology) -> bool:
+    """Check whether every non-core node has exactly one neighbor closer to the core.
+
+    This is the structural signature of a clean hierarchical (tree-like)
+    design in which traffic flows strictly up/down the hierarchy.
+    Nodes are compared by role rank (see :data:`repro.topology.node.ROLE_RANK`).
+    """
+    for node in topology.nodes():
+        if node.role == NodeRole.CORE:
+            continue
+        uplinks = 0
+        for neighbor_id in topology.neighbors(node.node_id):
+            neighbor = topology.node(neighbor_id)
+            if ROLE_RANK[neighbor.role] < ROLE_RANK[node.role]:
+                uplinks += 1
+        if uplinks > 1:
+            return False
+    return True

@@ -1,0 +1,131 @@
+"""Link model for annotated network topologies.
+
+Links carry the resource-capacity annotations required by the paper's notion
+of topology (connectivity plus capacity): installed cable type, capacity,
+length, and cost components.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+
+def edge_key(u: Any, v: Any) -> Tuple[Any, Any]:
+    """Return a canonical, order-independent key for an undirected edge.
+
+    The two endpoints are ordered by ``repr`` so that ``edge_key(a, b)`` and
+    ``edge_key(b, a)`` always produce the same tuple even when the node
+    identifiers are of mixed (non-comparable) types.
+    """
+    if u == v:
+        raise ValueError(f"self-loops are not allowed (node {u!r})")
+    return (u, v) if repr(u) <= repr(v) else (v, u)
+
+
+@dataclass
+class Link:
+    """A single undirected, capacity-annotated link.
+
+    Attributes:
+        source: One endpoint identifier.
+        target: The other endpoint identifier.
+        capacity: Installed capacity (e.g. Mbps); ``None`` means unbounded.
+        length: Physical length (same units as node locations).
+        cable: Name of the installed cable type, if any.
+        install_cost: Fixed cost paid to install the link.
+        usage_cost: Marginal cost per unit of carried traffic.
+        load: Traffic currently routed over the link.
+        attributes: Free-form extra annotations.
+    """
+
+    source: Any
+    target: Any
+    capacity: Optional[float] = None
+    length: float = 0.0
+    cable: Optional[str] = None
+    install_cost: float = 0.0
+    usage_cost: float = 0.0
+    load: float = 0.0
+    attributes: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.source == self.target:
+            raise ValueError(f"self-loops are not allowed (node {self.source!r})")
+        if self.capacity is not None and self.capacity <= 0:
+            raise ValueError(f"link capacity must be positive, got {self.capacity}")
+        if self.length < 0:
+            raise ValueError(f"link length must be non-negative, got {self.length}")
+        if self.install_cost < 0 or self.usage_cost < 0:
+            raise ValueError("link costs must be non-negative")
+        if self.load < 0:
+            raise ValueError(f"link load must be non-negative, got {self.load}")
+
+    @property
+    def key(self) -> Tuple[Any, Any]:
+        """Canonical undirected edge key."""
+        return edge_key(self.source, self.target)
+
+    @property
+    def endpoints(self) -> Tuple[Any, Any]:
+        """The two endpoints as given at construction time."""
+        return (self.source, self.target)
+
+    def other_end(self, node_id: Any) -> Any:
+        """Return the endpoint opposite to ``node_id``.
+
+        Raises:
+            ValueError: if ``node_id`` is not an endpoint of this link.
+        """
+        if node_id == self.source:
+            return self.target
+        if node_id == self.target:
+            return self.source
+        raise ValueError(f"node {node_id!r} is not an endpoint of {self.key}")
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of capacity in use; 0.0 when capacity is unbounded."""
+        if self.capacity is None or self.capacity == 0:
+            return 0.0
+        return self.load / self.capacity
+
+    @property
+    def residual_capacity(self) -> float:
+        """Capacity still available; ``inf`` when capacity is unbounded."""
+        if self.capacity is None:
+            return float("inf")
+        return max(0.0, self.capacity - self.load)
+
+    def total_cost(self) -> float:
+        """Installation cost plus usage cost for the current load."""
+        return self.install_cost + self.usage_cost * self.load
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Serialize the link to a plain dictionary."""
+        return {
+            "source": self.source,
+            "target": self.target,
+            "capacity": self.capacity,
+            "length": self.length,
+            "cable": self.cable,
+            "install_cost": self.install_cost,
+            "usage_cost": self.usage_cost,
+            "load": self.load,
+            "attributes": dict(self.attributes),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Link":
+        """Reconstruct a link from :meth:`to_dict` output."""
+        return cls(
+            source=data["source"],
+            target=data["target"],
+            capacity=data.get("capacity"),
+            length=data.get("length", 0.0),
+            cable=data.get("cable"),
+            install_cost=data.get("install_cost", 0.0),
+            usage_cost=data.get("usage_cost", 0.0),
+            load=data.get("load", 0.0),
+            attributes=dict(data.get("attributes", {})),
+        )

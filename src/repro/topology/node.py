@@ -1,0 +1,133 @@
+"""Node model for annotated network topologies.
+
+The paper (Section 1, footnote 1) insists that "topology" means connectivity
+*plus* resource capacity: nodes and links carry annotations such as role,
+geographic location, and equipment capacity.  This module defines the node
+side of that annotation.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+
+class NodeRole(enum.Enum):
+    """Functional role of a node inside an ISP topology.
+
+    The roles mirror the hierarchical decomposition described in Section 2.2
+    of the paper: backbone (WAN), distribution (MAN), and customers (LAN),
+    plus peering points that interconnect ISPs (Section 2.3).
+    """
+
+    CORE = "core"
+    BACKBONE = "backbone"
+    DISTRIBUTION = "distribution"
+    ACCESS = "access"
+    CUSTOMER = "customer"
+    PEERING = "peering"
+    GENERIC = "generic"
+
+    def is_infrastructure(self) -> bool:
+        """Return True for nodes owned and operated by the ISP itself."""
+        return self not in (NodeRole.CUSTOMER, NodeRole.GENERIC)
+
+
+#: Hierarchy rank of each role, used to order levels from core outwards.
+ROLE_RANK: Dict[NodeRole, int] = {
+    NodeRole.CORE: 0,
+    NodeRole.BACKBONE: 1,
+    NodeRole.PEERING: 1,
+    NodeRole.DISTRIBUTION: 2,
+    NodeRole.ACCESS: 3,
+    NodeRole.CUSTOMER: 4,
+    NodeRole.GENERIC: 5,
+}
+
+
+@dataclass
+class Node:
+    """A single annotated node (router, switch, or customer site).
+
+    Attributes:
+        node_id: Hashable identifier, unique within a topology.
+        role: Functional role of the node (see :class:`NodeRole`).
+        location: Optional ``(x, y)`` coordinates in the topology's region.
+        capacity: Optional switching capacity (same units as link capacity).
+        demand: Traffic demand originated by this node (customers only).
+        max_degree: Optional technology bound on the number of interfaces
+            (Section 2.1: routers have a limited number of line cards).
+        city: Optional name of the population center the node belongs to.
+        attributes: Free-form extra annotations.
+    """
+
+    node_id: Any
+    role: NodeRole = NodeRole.GENERIC
+    location: Optional[Tuple[float, float]] = None
+    capacity: Optional[float] = None
+    demand: float = 0.0
+    max_degree: Optional[int] = None
+    city: Optional[str] = None
+    attributes: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.demand < 0:
+            raise ValueError(f"node demand must be non-negative, got {self.demand}")
+        if self.capacity is not None and self.capacity < 0:
+            raise ValueError(f"node capacity must be non-negative, got {self.capacity}")
+        if self.max_degree is not None and self.max_degree < 1:
+            raise ValueError(f"max_degree must be >= 1, got {self.max_degree}")
+        if self.location is not None:
+            x, y = self.location
+            self.location = (float(x), float(y))
+
+    @property
+    def rank(self) -> int:
+        """Hierarchy rank (0 = core, larger = further from the core)."""
+        return ROLE_RANK[self.role]
+
+    def is_customer(self) -> bool:
+        """Return True if this node represents a paying customer site."""
+        return self.role == NodeRole.CUSTOMER
+
+    def with_role(self, role: NodeRole) -> "Node":
+        """Return a copy of this node with a different role."""
+        return Node(
+            node_id=self.node_id,
+            role=role,
+            location=self.location,
+            capacity=self.capacity,
+            demand=self.demand,
+            max_degree=self.max_degree,
+            city=self.city,
+            attributes=dict(self.attributes),
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Serialize the node to a plain dictionary."""
+        return {
+            "node_id": self.node_id,
+            "role": self.role.value,
+            "location": list(self.location) if self.location is not None else None,
+            "capacity": self.capacity,
+            "demand": self.demand,
+            "max_degree": self.max_degree,
+            "city": self.city,
+            "attributes": dict(self.attributes),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Node":
+        """Reconstruct a node from :meth:`to_dict` output."""
+        location = data.get("location")
+        return cls(
+            node_id=data["node_id"],
+            role=NodeRole(data.get("role", NodeRole.GENERIC.value)),
+            location=tuple(location) if location is not None else None,
+            capacity=data.get("capacity"),
+            demand=data.get("demand", 0.0),
+            max_degree=data.get("max_degree"),
+            city=data.get("city"),
+            attributes=dict(data.get("attributes", {})),
+        )

@@ -1,0 +1,25 @@
+"""Dependency-free SVG visualization of topologies and degree distributions."""
+
+from .svg import (
+    CABLE_PALETTE,
+    ROLE_COLORS,
+    ROLE_RADII,
+    SVGCanvas,
+    ccdf_to_svg,
+    degree_ccdf_svg,
+    save_ccdf_svg,
+    save_topology_svg,
+    topology_to_svg,
+)
+
+__all__ = [
+    "CABLE_PALETTE",
+    "ROLE_COLORS",
+    "ROLE_RADII",
+    "SVGCanvas",
+    "ccdf_to_svg",
+    "degree_ccdf_svg",
+    "save_ccdf_svg",
+    "save_topology_svg",
+    "topology_to_svg",
+]

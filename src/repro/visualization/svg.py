@@ -1,0 +1,284 @@
+"""Dependency-free SVG rendering of topologies and degree distributions.
+
+The library deliberately avoids heavyweight plotting dependencies; this module
+produces self-contained SVG documents good enough to eyeball a generated
+topology (nodes at their geographic locations, links colored by installed
+cable) and to inspect degree CCDFs on log-log or log-linear axes — the two
+pictures that matter for the paper's claims.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..metrics.degree import topology_degree_ccdf
+from ..topology.graph import Topology
+from ..topology.node import NodeRole
+
+
+#: Fill colors per node role (hex RGB).
+ROLE_COLORS: Dict[NodeRole, str] = {
+    NodeRole.CORE: "#c0392b",
+    NodeRole.BACKBONE: "#d35400",
+    NodeRole.PEERING: "#8e44ad",
+    NodeRole.DISTRIBUTION: "#2980b9",
+    NodeRole.ACCESS: "#16a085",
+    NodeRole.CUSTOMER: "#7f8c8d",
+    NodeRole.GENERIC: "#2c3e50",
+}
+
+#: Node radii per role (core routers drawn larger than customer sites).
+ROLE_RADII: Dict[NodeRole, float] = {
+    NodeRole.CORE: 6.0,
+    NodeRole.BACKBONE: 5.0,
+    NodeRole.PEERING: 5.0,
+    NodeRole.DISTRIBUTION: 4.0,
+    NodeRole.ACCESS: 3.5,
+    NodeRole.CUSTOMER: 2.0,
+    NodeRole.GENERIC: 2.5,
+}
+
+#: A small qualitative palette used to color links by cable type.
+CABLE_PALETTE: Tuple[str, ...] = (
+    "#bdc3c7",
+    "#95a5a6",
+    "#3498db",
+    "#9b59b6",
+    "#e67e22",
+    "#e74c3c",
+    "#1abc9c",
+)
+
+
+def _escape(text: str) -> str:
+    return (
+        text.replace("&", "&amp;")
+        .replace("<", "&lt;")
+        .replace(">", "&gt;")
+        .replace('"', "&quot;")
+    )
+
+
+@dataclass
+class SVGCanvas:
+    """Minimal SVG document builder."""
+
+    width: float
+    height: float
+    elements: List[str] = field(default_factory=list)
+    background: str = "#ffffff"
+
+    def add(self, element: str) -> None:
+        """Append a raw SVG element."""
+        self.elements.append(element)
+
+    def line(self, x1: float, y1: float, x2: float, y2: float, color: str = "#888888",
+             width: float = 1.0, opacity: float = 1.0) -> None:
+        """Add a line segment."""
+        self.add(
+            f'<line x1="{x1:.2f}" y1="{y1:.2f}" x2="{x2:.2f}" y2="{y2:.2f}" '
+            f'stroke="{color}" stroke-width="{width:.2f}" stroke-opacity="{opacity:.2f}" />'
+        )
+
+    def circle(self, cx: float, cy: float, radius: float, color: str = "#333333",
+               title: Optional[str] = None) -> None:
+        """Add a filled circle, optionally with a hover tooltip."""
+        tooltip = f"<title>{_escape(title)}</title>" if title else ""
+        self.add(
+            f'<circle cx="{cx:.2f}" cy="{cy:.2f}" r="{radius:.2f}" fill="{color}">'
+            f"{tooltip}</circle>"
+        )
+
+    def text(self, x: float, y: float, content: str, size: float = 12.0,
+             color: str = "#333333", anchor: str = "start") -> None:
+        """Add a text label."""
+        self.add(
+            f'<text x="{x:.2f}" y="{y:.2f}" font-size="{size:.1f}" fill="{color}" '
+            f'text-anchor="{anchor}" font-family="sans-serif">{_escape(content)}</text>'
+        )
+
+    def render(self) -> str:
+        """Return the complete SVG document."""
+        body = "\n  ".join(self.elements)
+        return (
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{self.width:.0f}" '
+            f'height="{self.height:.0f}" viewBox="0 0 {self.width:.0f} {self.height:.0f}">\n'
+            f'  <rect width="100%" height="100%" fill="{self.background}" />\n'
+            f"  {body}\n</svg>\n"
+        )
+
+
+def _location_transform(
+    topology: Topology, width: float, height: float, margin: float
+) -> Dict[object, Tuple[float, float]]:
+    """Map node locations into canvas coordinates (missing locations on a circle)."""
+    located = [n for n in topology.nodes() if n.location is not None]
+    positions: Dict[object, Tuple[float, float]] = {}
+    if located:
+        xs = [n.location[0] for n in located]
+        ys = [n.location[1] for n in located]
+        min_x, max_x = min(xs), max(xs)
+        min_y, max_y = min(ys), max(ys)
+        span_x = (max_x - min_x) or 1.0
+        span_y = (max_y - min_y) or 1.0
+        for node in located:
+            x = margin + (node.location[0] - min_x) / span_x * (width - 2 * margin)
+            # SVG y grows downward; flip so north stays up.
+            y = height - margin - (node.location[1] - min_y) / span_y * (height - 2 * margin)
+            positions[node.node_id] = (x, y)
+    unlocated = [n for n in topology.nodes() if n.location is None]
+    if unlocated:
+        center_x, center_y = width / 2.0, height / 2.0
+        radius = min(width, height) / 2.0 - margin
+        for index, node in enumerate(unlocated):
+            angle = 2.0 * math.pi * index / len(unlocated)
+            positions[node.node_id] = (
+                center_x + radius * math.cos(angle),
+                center_y + radius * math.sin(angle),
+            )
+    return positions
+
+
+def topology_to_svg(
+    topology: Topology,
+    width: float = 800.0,
+    height: float = 600.0,
+    margin: float = 30.0,
+    title: Optional[str] = None,
+    link_width_by_load: bool = True,
+) -> str:
+    """Render a topology as an SVG document string.
+
+    Nodes are placed at their geographic locations (nodes without locations
+    are arranged on a circle), colored by role; links are colored by installed
+    cable type and optionally widened with carried load.
+    """
+    if topology.num_nodes == 0:
+        raise ValueError("cannot render an empty topology")
+    canvas = SVGCanvas(width=width, height=height)
+    positions = _location_transform(topology, width, height, margin)
+
+    cable_names = sorted({link.cable for link in topology.links() if link.cable})
+    cable_colors = {
+        name: CABLE_PALETTE[index % len(CABLE_PALETTE)]
+        for index, name in enumerate(cable_names)
+    }
+    max_load = max((link.load for link in topology.links()), default=0.0)
+
+    for link in topology.links():
+        x1, y1 = positions[link.source]
+        x2, y2 = positions[link.target]
+        color = cable_colors.get(link.cable, "#bbbbbb")
+        stroke = 1.0
+        if link_width_by_load and max_load > 0 and link.load > 0:
+            stroke = 1.0 + 3.0 * (link.load / max_load)
+        canvas.line(x1, y1, x2, y2, color=color, width=stroke, opacity=0.8)
+
+    for node in topology.nodes():
+        x, y = positions[node.node_id]
+        canvas.circle(
+            x,
+            y,
+            ROLE_RADII.get(node.role, 2.5),
+            color=ROLE_COLORS.get(node.role, "#2c3e50"),
+            title=f"{node.node_id} ({node.role.value}, degree {topology.degree(node.node_id)})",
+        )
+
+    canvas.text(margin, 20.0, title or topology.name, size=16.0)
+    legend_y = 20.0
+    for index, name in enumerate(cable_names):
+        canvas.text(
+            width - margin - 120.0,
+            legend_y + index * 16.0,
+            name,
+            size=11.0,
+            color=cable_colors[name],
+        )
+    return canvas.render()
+
+
+def save_topology_svg(topology: Topology, path, **kwargs) -> None:
+    """Render a topology and write the SVG to ``path``."""
+    from pathlib import Path
+
+    Path(path).write_text(topology_to_svg(topology, **kwargs))
+
+
+def ccdf_to_svg(
+    series: Dict[str, Sequence[Tuple[int, float]]],
+    width: float = 640.0,
+    height: float = 480.0,
+    margin: float = 50.0,
+    log_x: bool = True,
+    title: str = "Degree CCDF",
+) -> str:
+    """Render one or more degree CCDFs as an SVG scatter/step chart.
+
+    Args:
+        series: Mapping from label to CCDF points ``(degree, probability)``.
+        log_x: Log-scale the degree axis (log-log view highlights power laws);
+            the probability axis is always log-scaled.
+    """
+    if not series:
+        raise ValueError("at least one CCDF series is required")
+    canvas = SVGCanvas(width=width, height=height)
+
+    def x_value(k: int) -> float:
+        return math.log10(k) if log_x else float(k)
+
+    all_points = [(k, p) for points in series.values() for k, p in points if p > 0 and k > 0]
+    if not all_points:
+        raise ValueError("CCDF series contain no positive points")
+    min_x = min(x_value(k) for k, _ in all_points)
+    max_x = max(x_value(k) for k, _ in all_points)
+    min_y = min(math.log10(p) for _, p in all_points)
+    max_y = 0.0
+    span_x = (max_x - min_x) or 1.0
+    span_y = (max_y - min_y) or 1.0
+
+    def to_canvas(k: int, p: float) -> Tuple[float, float]:
+        x = margin + (x_value(k) - min_x) / span_x * (width - 2 * margin)
+        y = height - margin - (math.log10(p) - min_y) / span_y * (height - 2 * margin)
+        return x, y
+
+    # Axes.
+    canvas.line(margin, height - margin, width - margin, height - margin, color="#333333", width=1.5)
+    canvas.line(margin, margin, margin, height - margin, color="#333333", width=1.5)
+    canvas.text(width / 2, height - 10, "degree" + (" (log)" if log_x else ""), anchor="middle")
+    canvas.text(15, height / 2, "P(D >= k) (log)", anchor="middle")
+    canvas.text(margin, 25, title, size=16.0)
+
+    palette = ("#c0392b", "#2980b9", "#27ae60", "#8e44ad", "#e67e22", "#16a085")
+    for index, (label, points) in enumerate(series.items()):
+        color = palette[index % len(palette)]
+        previous: Optional[Tuple[float, float]] = None
+        for k, p in points:
+            if p <= 0 or k <= 0:
+                continue
+            x, y = to_canvas(k, p)
+            canvas.circle(x, y, 2.5, color=color, title=f"{label}: P(D>={k}) = {p:.4f}")
+            if previous is not None:
+                canvas.line(previous[0], previous[1], x, y, color=color, width=1.0, opacity=0.6)
+            previous = (x, y)
+        canvas.text(width - margin - 150.0, margin + index * 16.0, label, size=12.0, color=color)
+    return canvas.render()
+
+
+def degree_ccdf_svg(
+    topologies: Dict[str, Topology],
+    log_x: bool = True,
+    title: str = "Degree CCDF",
+    **kwargs,
+) -> str:
+    """Convenience wrapper: compute CCDFs of topologies and render them."""
+    series = {name: topology_degree_ccdf(topo) for name, topo in topologies.items()}
+    return ccdf_to_svg(series, log_x=log_x, title=title, **kwargs)
+
+
+def save_ccdf_svg(topologies: Dict[str, Topology], path, **kwargs) -> None:
+    """Render degree CCDFs of topologies and write the SVG to ``path``."""
+    from pathlib import Path
+
+    Path(path).write_text(degree_ccdf_svg(topologies, **kwargs))

@@ -1,0 +1,47 @@
+"""Reference workloads: city sets, demand matrices, and experiment scenarios."""
+
+from .cities import (
+    REFERENCE_CITIES,
+    metro_customers,
+    reference_population,
+    scaled_population,
+)
+from .matrices import (
+    demand_locality_fraction,
+    hub_and_spoke_matrix,
+    national_gravity_matrix,
+    national_uniform_matrix,
+)
+from .scenarios import (
+    Scenario,
+    all_scenarios,
+    buy_at_bulk_scenario,
+    cable_economics_scenario,
+    fkp_phase_scenario,
+    generator_comparison_scenario,
+    isp_hierarchy_scenario,
+    peering_scenario,
+    robustness_scenario,
+    scaling_scenario,
+)
+
+__all__ = [
+    "REFERENCE_CITIES",
+    "metro_customers",
+    "reference_population",
+    "scaled_population",
+    "demand_locality_fraction",
+    "hub_and_spoke_matrix",
+    "national_gravity_matrix",
+    "national_uniform_matrix",
+    "Scenario",
+    "all_scenarios",
+    "buy_at_bulk_scenario",
+    "cable_economics_scenario",
+    "fkp_phase_scenario",
+    "generator_comparison_scenario",
+    "isp_hierarchy_scenario",
+    "peering_scenario",
+    "robustness_scenario",
+    "scaling_scenario",
+]

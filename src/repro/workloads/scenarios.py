@@ -1,0 +1,190 @@
+"""Named experiment scenarios: the exact parameter sets behind E1–E8.
+
+Keeping the parameters here (rather than scattered across benchmark files)
+gives every experiment a single source of truth that DESIGN.md and
+EXPERIMENTS.md can reference, and lets tests assert that the benchmark
+workloads stay consistent.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named experiment scenario.
+
+    Attributes:
+        experiment_id: Experiment identifier (``"E1"`` ... ``"E8"``).
+        title: Short human-readable title.
+        paper_claim: The claim from the paper this scenario reproduces.
+        parameters: Flat parameter dictionary consumed by the benchmark.
+    """
+
+    experiment_id: str
+    title: str
+    paper_claim: str
+    parameters: Dict[str, object] = field(default_factory=dict)
+
+
+def fkp_phase_scenario(num_nodes: int = 1000, seed: int = 7) -> Scenario:
+    """E1: FKP alpha sweep across the three regimes."""
+    alphas = [0.1, 4.0, 10.0, math.sqrt(num_nodes) / 2.0, 2.0 * math.sqrt(num_nodes), float(num_nodes)]
+    return Scenario(
+        experiment_id="E1",
+        title="FKP tradeoff phase diagram",
+        paper_claim=(
+            "Tuning the relative importance of distance vs centrality moves the "
+            "degree distribution from star to power law to exponential (Section 3.1)."
+        ),
+        parameters={"num_nodes": num_nodes, "alphas": alphas, "seed": seed},
+    )
+
+
+def buy_at_bulk_scenario(
+    customer_counts: Sequence[int] = (100, 200, 400), seed: int = 11
+) -> Scenario:
+    """E2: buy-at-bulk access trees and their degree tails."""
+    return Scenario(
+        experiment_id="E2",
+        title="Buy-at-bulk access design degree distribution",
+        paper_claim=(
+            "The Meyerson-style approximation yields tree topologies with exponential "
+            "node degree distributions under realistic cable parameters (Section 4.2)."
+        ),
+        parameters={
+            "customer_counts": list(customer_counts),
+            "seed": seed,
+            "placements": ["uniform", "clustered"],
+        },
+    )
+
+
+def cable_economics_scenario(
+    customer_counts: Sequence[int] = (50, 100, 200, 400), seed: int = 13
+) -> Scenario:
+    """E3: algorithm/catalog ablation of the buy-at-bulk problem."""
+    return Scenario(
+        experiment_id="E3",
+        title="Economies of scale and algorithm comparison",
+        paper_claim=(
+            "Buy-at-bulk solutions aggregate traffic onto high-capacity cables and beat "
+            "naive per-customer provisioning; economies of scale drive tree formation "
+            "(Section 4.1)."
+        ),
+        parameters={
+            "customer_counts": list(customer_counts),
+            "seed": seed,
+            "algorithms": ["meyerson", "greedy", "mst", "star"],
+            "catalogs": ["default", "linear"],
+        },
+    )
+
+
+def isp_hierarchy_scenario(
+    city_counts: Sequence[int] = (10, 20, 30), seed: int = 17
+) -> Scenario:
+    """E4: single-ISP hierarchy as a function of the served population."""
+    return Scenario(
+        experiment_id="E4",
+        title="Single-ISP WAN/MAN/LAN hierarchy",
+        paper_claim=(
+            "The size, location and connectivity of the ISP depend on the number and "
+            "location of its customers; hierarchy emerges as backbone/distribution/"
+            "customer levels (Section 2.2)."
+        ),
+        parameters={
+            "city_counts": list(city_counts),
+            "seed": seed,
+            "objectives": ["cost", "profit"],
+            "customers_per_city_scale": 6.0,
+        },
+    )
+
+
+def generator_comparison_scenario(num_nodes: int = 600, seed: int = 19) -> Scenario:
+    """E5: HOT vs descriptive generators across the metric suite."""
+    return Scenario(
+        experiment_id="E5",
+        title="Optimization-driven vs descriptive generators",
+        paper_claim=(
+            "Generators matching the chosen metric (degree distribution) look very "
+            "dissimilar on others (clustering, hierarchy, distortion) (Sections 1, 3.2)."
+        ),
+        parameters={
+            "num_nodes": num_nodes,
+            "seed": seed,
+            "baselines": [
+                "barabasi-albert",
+                "glp",
+                "plrg",
+                "inet",
+                "waxman",
+                "transit-stub",
+                "erdos-renyi",
+            ],
+            "hot_models": ["fkp-powerlaw", "fkp-exponential", "buy-at-bulk"],
+        },
+    )
+
+
+def peering_scenario(
+    isp_counts: Sequence[int] = (20, 40, 80), num_cities: int = 30, seed: int = 23
+) -> Scenario:
+    """E6: AS graphs from interconnected ISPs."""
+    return Scenario(
+        experiment_id="E6",
+        title="AS graph from ISP peering",
+        paper_claim=(
+            "Interconnecting optimization-designed ISPs yields the AS graph; AS degree "
+            "reflects geographic coverage, and the router- and AS-level formulations "
+            "differ (Sections 2.3, 3.2)."
+        ),
+        parameters={"isp_counts": list(isp_counts), "num_cities": num_cities, "seed": seed},
+    )
+
+
+def robustness_scenario(num_nodes: int = 500, seed: int = 29) -> Scenario:
+    """E7: robust-yet-fragile behaviour of HOT designs."""
+    return Scenario(
+        experiment_id="E7",
+        title="Robust-yet-fragile: random vs targeted failures",
+        paper_claim=(
+            "HOT systems are robust to designed-for uncertainty yet fragile to rare "
+            "perturbations: targeted removal of aggregation hubs is catastrophic while "
+            "random failures are tolerated (Section 3.1)."
+        ),
+        parameters={"num_nodes": num_nodes, "seed": seed, "max_fraction": 0.3},
+    )
+
+
+def scaling_scenario(
+    customer_counts: Sequence[int] = (50, 100, 200, 400, 800), seed: int = 31
+) -> Scenario:
+    """E8: approximation quality and runtime scaling of the incremental algorithm."""
+    return Scenario(
+        experiment_id="E8",
+        title="Approximation quality and scaling",
+        paper_claim=(
+            "The randomized incremental algorithm achieves constant-factor quality "
+            "independent of problem size (Section 4.1)."
+        ),
+        parameters={"customer_counts": list(customer_counts), "seed": seed, "best_of": 3},
+    )
+
+
+def all_scenarios() -> List[Scenario]:
+    """Every experiment scenario, in experiment order."""
+    return [
+        fkp_phase_scenario(),
+        buy_at_bulk_scenario(),
+        cable_economics_scenario(),
+        isp_hierarchy_scenario(),
+        generator_comparison_scenario(),
+        peering_scenario(),
+        robustness_scenario(),
+        scaling_scenario(),
+    ]

@@ -1,0 +1,65 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.core.buyatbulk import BuyAtBulkInstance, Customer, random_instance
+from repro.economics.cables import default_catalog
+from repro.topology.graph import Topology
+from repro.topology.node import NodeRole
+
+
+@pytest.fixture
+def triangle_topology() -> Topology:
+    """Three nodes forming a triangle, with locations."""
+    topo = Topology(name="triangle")
+    topo.add_node("a", role=NodeRole.CORE, location=(0.0, 0.0))
+    topo.add_node("b", role=NodeRole.CUSTOMER, location=(1.0, 0.0), demand=2.0)
+    topo.add_node("c", role=NodeRole.CUSTOMER, location=(0.0, 1.0), demand=3.0)
+    topo.add_link("a", "b")
+    topo.add_link("b", "c")
+    topo.add_link("a", "c")
+    return topo
+
+
+@pytest.fixture
+def star_topology() -> Topology:
+    """A 1-core, 5-leaf star with unit demands."""
+    topo = Topology(name="star")
+    topo.add_node("hub", role=NodeRole.CORE, location=(0.5, 0.5))
+    for i in range(5):
+        topo.add_node(f"leaf{i}", role=NodeRole.CUSTOMER, location=(0.1 * i, 0.0), demand=1.0)
+        topo.add_link("hub", f"leaf{i}")
+    return topo
+
+
+@pytest.fixture
+def path_topology() -> Topology:
+    """A 6-node path graph 0-1-2-3-4-5 without locations."""
+    topo = Topology(name="path")
+    for i in range(6):
+        topo.add_node(i)
+    for i in range(5):
+        topo.add_link(i, i + 1)
+    return topo
+
+
+@pytest.fixture
+def small_instance() -> BuyAtBulkInstance:
+    """A deterministic 4-customer buy-at-bulk instance."""
+    customers = [
+        Customer("c0", (0.1, 0.1), demand=2.0),
+        Customer("c1", (0.9, 0.1), demand=4.0),
+        Customer("c2", (0.1, 0.9), demand=1.0),
+        Customer("c3", (0.9, 0.9), demand=8.0),
+    ]
+    return BuyAtBulkInstance(
+        customers=customers,
+        core_locations=[(0.5, 0.5)],
+        catalog=default_catalog(),
+    )
+
+
+@pytest.fixture
+def medium_instance() -> BuyAtBulkInstance:
+    """A seeded 60-customer random instance (metro scale)."""
+    return random_instance(60, seed=42)

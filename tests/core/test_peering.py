@@ -1,0 +1,110 @@
+"""Tests for repro.core.peering — multi-ISP internetworks and AS graphs (§2.3)."""
+
+import pytest
+
+from repro.core.peering import (
+    DEFAULT_PROFILES,
+    InternetGenerator,
+    ISPProfile,
+    PeeringPolicy,
+    generate_internet,
+)
+
+
+@pytest.fixture(scope="module")
+def small_internet():
+    return generate_internet(num_isps=8, num_cities=12, seed=33)
+
+
+class TestProfilesAndPolicy:
+    def test_invalid_profile_rejected(self):
+        with pytest.raises(ValueError):
+            ISPProfile("x", coverage_fraction=0.0, customers_per_city_scale=1.0)
+        with pytest.raises(ValueError):
+            ISPProfile("x", coverage_fraction=0.5, customers_per_city_scale=-1.0)
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ValueError):
+            PeeringPolicy(min_shared_cities=0)
+        with pytest.raises(ValueError):
+            PeeringPolicy(probability=1.5)
+
+    def test_default_profiles_weights_positive(self):
+        assert all(weight > 0 for _, weight in DEFAULT_PROFILES)
+
+
+class TestGenerator:
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ValueError):
+            InternetGenerator(num_isps=1)
+        with pytest.raises(ValueError):
+            InternetGenerator(num_isps=5, num_cities=1)
+        with pytest.raises(ValueError):
+            InternetGenerator(num_isps=5, profiles=[])
+
+    def test_as_graph_has_one_node_per_isp(self, small_internet):
+        assert small_internet.as_graph.num_nodes == small_internet.num_ases() == 8
+
+    def test_peering_requires_shared_city(self, small_internet):
+        for (a, b), cities in small_internet.peering_cities.items():
+            shared = set(small_internet.isps[a].pop_cities) & set(
+                small_internet.isps[b].pop_cities
+            )
+            # Transit links may be recorded with a fallback city list, but any
+            # genuinely shared-city peering must list only shared cities.
+            if shared:
+                assert set(cities) <= shared or set(cities) <= set(
+                    small_internet.isps[a].pop_cities
+                )
+
+    def test_as_degree_tracks_coverage(self):
+        internet = generate_internet(num_isps=20, num_cities=20, seed=35)
+        rows = [
+            (internet.coverage(name), internet.as_degree(name))
+            for name in internet.isps
+        ]
+        big = [degree for coverage, degree in rows if coverage >= 10]
+        small = [degree for coverage, degree in rows if coverage <= 3]
+        if big and small:
+            assert sum(big) / len(big) >= sum(small) / len(small)
+
+    def test_transit_keeps_non_nationals_connected(self):
+        internet = generate_internet(num_isps=15, num_cities=15, seed=37)
+        nationals = [name for name in internet.isps if name.endswith("national")]
+        if nationals:
+            for name in internet.isps:
+                assert internet.as_graph.degree(name) > 0 or name in nationals
+
+    def test_deterministic_with_seed(self):
+        a = generate_internet(num_isps=6, num_cities=10, seed=39)
+        b = generate_internet(num_isps=6, num_cities=10, seed=39)
+        assert sorted(a.as_graph.link_keys()) == sorted(b.as_graph.link_keys())
+
+    def test_as_nodes_annotated_with_pops(self, small_internet):
+        for name in small_internet.isps:
+            node = small_internet.as_graph.node(name)
+            assert node.attributes["pops"] == small_internet.coverage(name)
+
+
+class TestRouterLevelGraph:
+    def test_router_level_graph_contains_all_isps(self, small_internet):
+        merged = small_internet.router_level_graph()
+        prefixes = {str(node.node_id).split("/")[0] for node in merged.nodes()}
+        assert prefixes == set(small_internet.isps)
+
+    def test_peering_links_connect_colocated_cores(self, small_internet):
+        merged = small_internet.router_level_graph()
+        peering_links = [
+            link for link in merged.links() if link.attributes.get("peering")
+        ]
+        for link in peering_links:
+            as_a, node_a = str(link.source).split("/", 1)
+            as_b, node_b = str(link.target).split("/", 1)
+            assert as_a != as_b
+            assert node_a.split(":")[1] == node_b.split(":")[1]
+
+    def test_customers_excluded_by_default(self, small_internet):
+        merged = small_internet.router_level_graph(include_customers=False)
+        from repro.topology.node import NodeRole
+
+        assert all(node.role != NodeRole.CUSTOMER for node in merged.nodes())

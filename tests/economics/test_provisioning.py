@@ -1,0 +1,112 @@
+"""Tests for repro.economics.provisioning."""
+
+import math
+
+import pytest
+
+from repro.economics.cables import default_catalog
+from repro.economics.provisioning import (
+    capacity_violations,
+    peak_utilization,
+    provision_topology,
+    provisioning_cost,
+)
+from repro.topology.graph import Topology
+
+
+def loaded_topology() -> Topology:
+    topo = Topology()
+    topo.add_node("a", location=(0, 0))
+    topo.add_node("b", location=(1, 0))
+    topo.add_node("c", location=(2, 0))
+    topo.add_link("a", "b", load=40.0)
+    topo.add_link("b", "c", load=700.0)
+    return topo
+
+
+class TestProvisionTopology:
+    def test_capacity_covers_load(self):
+        topo = loaded_topology()
+        provision_topology(topo, default_catalog())
+        for link in topo.links():
+            assert link.capacity >= link.load
+
+    def test_cable_names_assigned(self):
+        topo = loaded_topology()
+        report = provision_topology(topo, default_catalog())
+        names = {link.cable for link in topo.links()}
+        assert names <= {c.name for c in default_catalog()}
+        assert sum(report.cable_counts.values()) == topo.num_links
+
+    def test_bigger_load_gets_bigger_cable(self):
+        topo = loaded_topology()
+        provision_topology(topo, default_catalog())
+        catalog = default_catalog()
+        small = catalog.by_name(topo.link("a", "b").cable)
+        big = catalog.by_name(topo.link("b", "c").cable)
+        assert big.capacity >= small.capacity
+
+    def test_utilization_target_adds_headroom(self):
+        topo = loaded_topology()
+        provision_topology(topo, default_catalog(), utilization_target=0.5)
+        for link in topo.links():
+            assert link.capacity >= 2.0 * link.load - 1e-9
+
+    def test_invalid_target_rejected(self):
+        with pytest.raises(ValueError):
+            provision_topology(loaded_topology(), default_catalog(), utilization_target=0.0)
+        with pytest.raises(ValueError):
+            provision_topology(loaded_topology(), default_catalog(), headroom=-0.1)
+
+    def test_unloaded_links_get_smallest_cable(self):
+        topo = Topology()
+        topo.add_node("a", location=(0, 0))
+        topo.add_node("b", location=(1, 0))
+        topo.add_link("a", "b")
+        provision_topology(topo, default_catalog())
+        assert topo.link("a", "b").cable == default_catalog().smallest.name
+
+    def test_report_costs_match_topology(self):
+        topo = loaded_topology()
+        report = provision_topology(topo, default_catalog())
+        assert report.total_install_cost == pytest.approx(topo.total_install_cost())
+        assert report.total_usage_cost == pytest.approx(topo.total_usage_cost())
+        assert report.total_cost == pytest.approx(topo.total_cost())
+
+    def test_overprovisioning_at_least_one(self):
+        report = provision_topology(loaded_topology(), default_catalog())
+        assert report.overprovisioning >= 1.0
+
+
+class TestProvisioningHelpers:
+    def test_provisioning_cost_does_not_mutate(self):
+        topo = loaded_topology()
+        cost = provisioning_cost(topo, default_catalog())
+        assert cost > 0
+        assert all(link.capacity is None for link in topo.links())
+
+    def test_capacity_violations(self):
+        topo = Topology()
+        topo.add_node("a")
+        topo.add_node("b")
+        link = topo.add_link("a", "b", capacity=10.0)
+        link.load = 15.0
+        violations = capacity_violations(topo)
+        assert link.key in violations
+        assert violations[link.key] == pytest.approx(5.0)
+
+    def test_peak_utilization(self):
+        topo = Topology()
+        topo.add_node("a")
+        topo.add_node("b")
+        topo.add_node("c")
+        topo.add_link("a", "b", capacity=10.0, load=5.0)
+        topo.add_link("b", "c", capacity=10.0, load=9.0)
+        assert peak_utilization(topo) == pytest.approx(0.9)
+
+    def test_peak_utilization_none_without_capacities(self):
+        topo = Topology()
+        topo.add_node("a")
+        topo.add_node("b")
+        topo.add_link("a", "b")
+        assert peak_utilization(topo) is None

@@ -1,0 +1,212 @@
+"""Tests for the descriptive baseline generators (repro.generators)."""
+
+import random
+
+import pytest
+
+from repro.generators import (
+    BarabasiAlbertGenerator,
+    ErdosRenyiGenerator,
+    GLPGenerator,
+    InetGenerator,
+    PLRGGenerator,
+    TransitStubGenerator,
+    WaxmanGenerator,
+    available_generators,
+    ensure_connected,
+    generate_ensemble,
+    make_generator,
+)
+from repro.generators.plrg import power_law_degree_sequence
+from repro.metrics.fits import classify_tail
+from repro.topology.graph import Topology
+
+ALL_GENERATOR_NAMES = [
+    "erdos-renyi",
+    "waxman",
+    "barabasi-albert",
+    "glp",
+    "plrg",
+    "inet",
+    "transit-stub",
+]
+
+
+class TestRegistry:
+    def test_all_generators_registered(self):
+        assert set(ALL_GENERATOR_NAMES) <= set(available_generators())
+
+    def test_make_generator(self):
+        generator = make_generator("barabasi-albert")
+        assert isinstance(generator, BarabasiAlbertGenerator)
+
+    def test_unknown_generator_raises(self):
+        with pytest.raises(KeyError):
+            make_generator("magic")
+
+
+class TestCommonBehaviour:
+    @pytest.mark.parametrize("name", ALL_GENERATOR_NAMES)
+    def test_node_count_and_connectivity(self, name):
+        topo = make_generator(name).generate(120, seed=1)
+        assert topo.num_nodes == 120
+        assert topo.is_connected()
+
+    @pytest.mark.parametrize("name", ALL_GENERATOR_NAMES)
+    def test_deterministic_with_seed(self, name):
+        generator = make_generator(name)
+        a = generator.generate(80, seed=5)
+        b = generator.generate(80, seed=5)
+        assert sorted(map(str, a.link_keys())) == sorted(map(str, b.link_keys()))
+
+    @pytest.mark.parametrize("name", ALL_GENERATOR_NAMES)
+    def test_describe_has_name(self, name):
+        assert make_generator(name).describe()["name"] == name
+
+    @pytest.mark.parametrize("name", ALL_GENERATOR_NAMES)
+    def test_metadata_records_model(self, name):
+        topo = make_generator(name).generate(60, seed=2)
+        assert topo.metadata["model"] == name
+
+
+class TestErdosRenyi:
+    def test_mean_degree_close_to_target(self):
+        topo = ErdosRenyiGenerator(target_mean_degree=6.0, connect=False).generate(400, seed=3)
+        mean_degree = 2 * topo.num_links / topo.num_nodes
+        assert 4.5 < mean_degree < 7.5
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            ErdosRenyiGenerator(edge_probability=1.5)
+
+    def test_explicit_probability_used(self):
+        topo = ErdosRenyiGenerator(edge_probability=0.0, connect=False).generate(20, seed=1)
+        assert topo.num_links == 0
+
+
+class TestWaxman:
+    def test_locality_bias(self):
+        topo = WaxmanGenerator(alpha_w=0.05, beta=0.8, connect=False).generate(200, seed=4)
+        diag = 2 ** 0.5
+        lengths = [link.length for link in topo.links()]
+        assert lengths
+        assert sum(lengths) / len(lengths) < 0.4 * diag
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            WaxmanGenerator(alpha_w=0.0)
+        with pytest.raises(ValueError):
+            WaxmanGenerator(beta=0.0)
+
+    def test_nodes_have_locations(self):
+        topo = WaxmanGenerator().generate(50, seed=5)
+        assert all(node.location is not None for node in topo.nodes())
+
+
+class TestBarabasiAlbert:
+    def test_power_law_tail(self):
+        topo = BarabasiAlbertGenerator(links_per_node=2).generate(800, seed=6)
+        verdict = classify_tail(topo.degree_sequence()).verdict
+        assert verdict == "power-law"
+
+    def test_minimum_size_enforced(self):
+        with pytest.raises(ValueError):
+            BarabasiAlbertGenerator(links_per_node=3).generate(3, seed=1)
+
+    def test_link_count(self):
+        m = 2
+        topo = BarabasiAlbertGenerator(links_per_node=m).generate(100, seed=7)
+        seed_links = (m + 1) * m // 2
+        assert topo.num_links == seed_links + m * (100 - (m + 1))
+
+    def test_invalid_m(self):
+        with pytest.raises(ValueError):
+            BarabasiAlbertGenerator(links_per_node=0)
+
+
+class TestGLP:
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            GLPGenerator(p_new=0.0)
+        with pytest.raises(ValueError):
+            GLPGenerator(beta_glp=1.5)
+
+    def test_heavy_tailed_degrees(self):
+        topo = GLPGenerator().generate(500, seed=8)
+        degrees = topo.degree_sequence()
+        assert max(degrees) > 10 * (sum(degrees) / len(degrees))
+
+
+class TestPLRG:
+    def test_degree_sequence_sampler(self):
+        rng = random.Random(9)
+        degrees = power_law_degree_sequence(500, 2.2, 1, 100, rng)
+        assert len(degrees) == 500
+        assert sum(degrees) % 2 == 0
+        assert min(degrees) >= 1
+        assert max(degrees) <= 100
+
+    def test_invalid_sampler_arguments(self):
+        rng = random.Random(0)
+        with pytest.raises(ValueError):
+            power_law_degree_sequence(10, 1.0, 1, 10, rng)
+        with pytest.raises(ValueError):
+            power_law_degree_sequence(10, 2.0, 0, 10, rng)
+        with pytest.raises(ValueError):
+            power_law_degree_sequence(10, 2.0, 5, 2, rng)
+
+    def test_power_law_tail(self):
+        topo = PLRGGenerator(exponent=2.1).generate(800, seed=10)
+        verdict = classify_tail(topo.degree_sequence()).verdict
+        assert verdict in ("power-law", "inconclusive")
+
+
+class TestInet:
+    def test_minimum_size(self):
+        with pytest.raises(ValueError):
+            InetGenerator().generate(2, seed=1)
+
+    def test_high_degree_nodes_exist(self):
+        topo = InetGenerator().generate(400, seed=11)
+        assert max(topo.degree_sequence()) >= 10
+
+
+class TestTransitStub:
+    def test_domains_annotated(self):
+        topo = TransitStubGenerator(num_stub_domains=4).generate(100, seed=12)
+        domains = {node.attributes.get("domain") for node in topo.nodes()}
+        assert "transit" in domains
+        assert any(d and d.startswith("stub") for d in domains)
+
+    def test_minimum_size(self):
+        with pytest.raises(ValueError):
+            TransitStubGenerator(num_stub_domains=8).generate(5, seed=1)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            TransitStubGenerator(transit_fraction=0.0)
+        with pytest.raises(ValueError):
+            TransitStubGenerator(num_stub_domains=0)
+
+
+class TestEnsembleAndConnectivity:
+    def test_generate_ensemble(self):
+        ensemble = generate_ensemble(ErdosRenyiGenerator(), 50, 3, seed=1)
+        assert len(ensemble) == 3
+        assert ensemble.generator_name == "erdos-renyi"
+
+    def test_generate_ensemble_invalid(self):
+        with pytest.raises(ValueError):
+            generate_ensemble(ErdosRenyiGenerator(), 50, 0)
+
+    def test_ensure_connected_joins_components(self):
+        topo = Topology()
+        for i in range(6):
+            topo.add_node(i)
+        topo.add_link(0, 1)
+        topo.add_link(2, 3)
+        topo.add_link(4, 5)
+        ensure_connected(topo, random.Random(1))
+        assert topo.is_connected()
+        synthetic = [l for l in topo.links() if l.attributes.get("synthetic")]
+        assert len(synthetic) == 2

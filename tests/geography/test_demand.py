@@ -1,0 +1,124 @@
+"""Tests for repro.geography.demand."""
+
+import pytest
+
+from repro.geography.demand import (
+    DemandMatrix,
+    access_demands,
+    gravity_demand,
+    uniform_demand,
+)
+from repro.geography.population import City
+
+
+def sample_cities():
+    return [
+        City("metropolis", (0.0, 0.0), 1000.0),
+        City("midtown", (1.0, 0.0), 500.0),
+        City("hamlet", (10.0, 10.0), 10.0),
+    ]
+
+
+class TestDemandMatrix:
+    def test_symmetric(self):
+        matrix = DemandMatrix(endpoints=["a", "b"])
+        matrix.set_demand("a", "b", 5.0)
+        assert matrix.demand("b", "a") == 5.0
+
+    def test_self_demand_zero_and_rejected(self):
+        matrix = DemandMatrix(endpoints=["a", "b"])
+        assert matrix.demand("a", "a") == 0.0
+        with pytest.raises(ValueError):
+            matrix.set_demand("a", "a", 1.0)
+
+    def test_unknown_endpoint_rejected(self):
+        matrix = DemandMatrix(endpoints=["a", "b"])
+        with pytest.raises(KeyError):
+            matrix.set_demand("a", "z", 1.0)
+
+    def test_negative_demand_rejected(self):
+        matrix = DemandMatrix(endpoints=["a", "b"])
+        with pytest.raises(ValueError):
+            matrix.set_demand("a", "b", -1.0)
+
+    def test_duplicate_endpoints_rejected(self):
+        with pytest.raises(ValueError):
+            DemandMatrix(endpoints=["a", "a"])
+
+    def test_total_and_outgoing(self):
+        matrix = DemandMatrix(endpoints=["a", "b", "c"])
+        matrix.set_demand("a", "b", 2.0)
+        matrix.set_demand("a", "c", 3.0)
+        assert matrix.total() == pytest.approx(5.0)
+        assert matrix.outgoing("a") == pytest.approx(5.0)
+        assert matrix.outgoing("b") == pytest.approx(2.0)
+
+    def test_top_pairs(self):
+        matrix = DemandMatrix(endpoints=["a", "b", "c"])
+        matrix.set_demand("a", "b", 1.0)
+        matrix.set_demand("b", "c", 9.0)
+        top = matrix.top_pairs(1)
+        assert len(top) == 1
+        assert top[0][2] == 9.0
+
+    def test_scaled(self):
+        matrix = DemandMatrix(endpoints=["a", "b"])
+        matrix.set_demand("a", "b", 2.0)
+        assert matrix.scaled(2.5).demand("a", "b") == pytest.approx(5.0)
+
+
+class TestGravityDemand:
+    def test_total_volume_normalized(self):
+        matrix = gravity_demand(sample_cities(), total_volume=100.0)
+        assert matrix.total() == pytest.approx(100.0)
+
+    def test_big_close_pair_dominates(self):
+        matrix = gravity_demand(sample_cities(), total_volume=100.0)
+        big_pair = matrix.demand("metropolis", "midtown")
+        small_pair = matrix.demand("midtown", "hamlet")
+        assert big_pair > small_pair
+
+    def test_distance_exponent_zero_ignores_distance(self):
+        cities = sample_cities()
+        matrix = gravity_demand(cities, total_volume=1.0, distance_exponent=0.0)
+        # With no distance dependence, the ratio equals the population product ratio.
+        ratio = matrix.demand("metropolis", "midtown") / matrix.demand("metropolis", "hamlet")
+        assert ratio == pytest.approx((1000 * 500) / (1000 * 10), rel=1e-6)
+
+    def test_requires_two_cities(self):
+        with pytest.raises(ValueError):
+            gravity_demand(sample_cities()[:1])
+
+    def test_colocated_cities_handled(self):
+        cities = [
+            City("a", (0.0, 0.0), 10.0),
+            City("b", (0.0, 0.0), 20.0),
+            City("c", (5.0, 5.0), 30.0),
+        ]
+        matrix = gravity_demand(cities, total_volume=10.0)
+        assert matrix.total() == pytest.approx(10.0)
+        assert matrix.demand("a", "b") > 0
+
+
+class TestUniformDemand:
+    def test_equal_split(self):
+        matrix = uniform_demand(["a", "b", "c"], total_volume=30.0)
+        assert matrix.demand("a", "b") == pytest.approx(10.0)
+        assert matrix.total() == pytest.approx(30.0)
+
+    def test_requires_two_endpoints(self):
+        with pytest.raises(ValueError):
+            uniform_demand(["only"])
+
+
+class TestAccessDemands:
+    def test_proportional(self):
+        assert access_demands([1000.0, 2000.0], per_capita=0.01) == [10.0, 20.0]
+
+    def test_negative_population_rejected(self):
+        with pytest.raises(ValueError):
+            access_demands([-5.0])
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            access_demands([1.0], per_capita=-0.1)

@@ -1,0 +1,119 @@
+"""Tests for repro.geography.points."""
+
+import math
+import random
+
+import pytest
+
+from repro.geography.points import (
+    Point,
+    bounding_box,
+    centroid,
+    clustered_points,
+    euclidean,
+    grid_points,
+    manhattan,
+    nearest_point_index,
+    pairwise_distances,
+    random_points,
+    total_length,
+)
+
+
+class TestPoint:
+    def test_distance(self):
+        assert Point(0, 0).distance_to(Point(3, 4)) == pytest.approx(5.0)
+
+    def test_manhattan(self):
+        assert Point(0, 0).manhattan_distance_to(Point(3, 4)) == pytest.approx(7.0)
+
+    def test_midpoint(self):
+        mid = Point(0, 0).midpoint(Point(2, 4))
+        assert (mid.x, mid.y) == (1.0, 2.0)
+
+    def test_translated(self):
+        moved = Point(1, 1).translated(2, -1)
+        assert moved.as_tuple() == (3.0, 0.0)
+
+
+class TestDistanceHelpers:
+    def test_euclidean(self):
+        assert euclidean((0, 0), (3, 4)) == pytest.approx(5.0)
+
+    def test_manhattan(self):
+        assert manhattan((1, 1), (4, 5)) == pytest.approx(7.0)
+
+    def test_centroid(self):
+        assert centroid([(0, 0), (2, 0), (1, 3)]) == pytest.approx((1.0, 1.0))
+
+    def test_centroid_empty_raises(self):
+        with pytest.raises(ValueError):
+            centroid([])
+
+    def test_bounding_box(self):
+        assert bounding_box([(1, 2), (-1, 5), (3, 0)]) == (-1, 0, 3, 5)
+
+    def test_bounding_box_empty_raises(self):
+        with pytest.raises(ValueError):
+            bounding_box([])
+
+    def test_nearest_point_index(self):
+        assert nearest_point_index((0, 0), [(5, 5), (1, 1), (2, 2)]) == 1
+
+    def test_nearest_point_index_empty_raises(self):
+        with pytest.raises(ValueError):
+            nearest_point_index((0, 0), [])
+
+    def test_pairwise_distances_symmetric(self):
+        matrix = pairwise_distances([(0, 0), (1, 0), (0, 1)])
+        assert matrix[0][1] == pytest.approx(1.0)
+        assert matrix[1][0] == matrix[0][1]
+        assert matrix[2][2] == 0.0
+
+    def test_total_length(self):
+        assert total_length([(0, 0), (1, 0), (1, 1)]) == pytest.approx(2.0)
+
+
+class TestSampling:
+    def test_random_points_in_rectangle(self):
+        rng = random.Random(1)
+        points = random_points(100, rng, width=2.0, height=3.0, origin=(1.0, 1.0))
+        assert len(points) == 100
+        assert all(1.0 <= x <= 3.0 and 1.0 <= y <= 4.0 for x, y in points)
+
+    def test_random_points_deterministic_with_seed(self):
+        assert random_points(10, random.Random(7)) == random_points(10, random.Random(7))
+
+    def test_negative_count_raises(self):
+        with pytest.raises(ValueError):
+            random_points(-1)
+
+    def test_clustered_points_within_bounds(self):
+        rng = random.Random(2)
+        points = clustered_points(200, 4, rng)
+        assert len(points) == 200
+        assert all(0 <= x <= 1 and 0 <= y <= 1 for x, y in points)
+
+    def test_clustered_points_are_clustered(self):
+        rng = random.Random(3)
+        clustered = clustered_points(200, 2, rng, spread=0.01)
+        uniform = random_points(200, random.Random(3))
+        def mean_nn(points):
+            total = 0.0
+            for p in points:
+                total += min(euclidean(p, q) for q in points if q is not p)
+            return total / len(points)
+        assert mean_nn(clustered) < mean_nn(uniform)
+
+    def test_clustered_invalid_clusters_raises(self):
+        with pytest.raises(ValueError):
+            clustered_points(10, 0)
+
+    def test_grid_points(self):
+        points = grid_points(2, 3)
+        assert len(points) == 6
+        assert all(0 < x < 1 and 0 < y < 1 for x, y in points)
+
+    def test_grid_points_invalid(self):
+        with pytest.raises(ValueError):
+            grid_points(0, 3)

@@ -1,0 +1,80 @@
+"""Tests for repro.metrics.comparison — the full-suite harness."""
+
+import pytest
+
+from repro.core.fkp import generate_fkp_tree
+from repro.generators import BarabasiAlbertGenerator
+from repro.metrics.comparison import (
+    METRIC_COLUMNS,
+    TAIL_VERDICT_CODES,
+    compare_topologies,
+    evaluate_topology,
+    metric_disagreement,
+    report_table,
+)
+
+
+@pytest.fixture(scope="module")
+def sample_reports():
+    topologies = {
+        "fkp": generate_fkp_tree(150, alpha=4.0, seed=1),
+        "ba": BarabasiAlbertGenerator().generate(150, seed=1),
+    }
+    return compare_topologies(topologies, sample_size=20, seed=1)
+
+
+class TestEvaluateTopology:
+    def test_all_columns_present(self, star_topology):
+        report = evaluate_topology(star_topology, sample_size=10)
+        for column in METRIC_COLUMNS:
+            assert column in report.metrics
+
+    def test_name_defaults_to_topology_name(self, star_topology):
+        assert evaluate_topology(star_topology, sample_size=10).name == "star"
+
+    def test_include_spectrum_adds_columns(self, star_topology):
+        report = evaluate_topology(star_topology, include_spectrum=True, sample_size=10)
+        assert "algebraic_connectivity" in report.metrics
+
+    def test_get_missing_metric_returns_nan(self, star_topology):
+        report = evaluate_topology(star_topology, sample_size=10)
+        assert report.get("nonexistent") != report.get("nonexistent")  # NaN
+
+    def test_tail_verdict_codes_complete(self):
+        assert set(TAIL_VERDICT_CODES) == {"power-law", "exponential", "inconclusive"}
+
+
+class TestCompareTopologies:
+    def test_one_report_per_topology(self, sample_reports):
+        assert [r.name for r in sample_reports] == ["fkp", "ba"]
+
+    def test_tree_vs_mesh_differences(self, sample_reports):
+        fkp, ba = sample_reports
+        assert fkp.get("cycle_edge_fraction") == pytest.approx(0.0)
+        assert ba.get("cycle_edge_fraction") > 0.2
+        assert ba.get("avg_clustering") >= fkp.get("avg_clustering")
+
+    def test_metric_disagreement(self, sample_reports):
+        spread = metric_disagreement(sample_reports, "cycle_edge_fraction")
+        assert spread > 0.2
+
+    def test_metric_disagreement_missing_metric(self, sample_reports):
+        assert metric_disagreement(sample_reports, "missing") != metric_disagreement(
+            sample_reports, "missing"
+        )  # NaN
+
+
+class TestReportTable:
+    def test_table_contains_names_and_header(self, sample_reports):
+        table = report_table(sample_reports, columns=["mean_degree", "max_degree"])
+        assert "fkp" in table and "ba" in table
+        assert "mean_degree" in table.splitlines()[0]
+
+    def test_table_row_count(self, sample_reports):
+        table = report_table(sample_reports)
+        # Header + separator + one row per report.
+        assert len(table.splitlines()) == 2 + len(sample_reports)
+
+    def test_nan_rendered(self, sample_reports):
+        table = report_table(sample_reports, columns=["nonexistent"])
+        assert "nan" in table

@@ -1,0 +1,74 @@
+"""Tests for repro.metrics.distance."""
+
+import math
+
+import pytest
+
+from repro.metrics.distance import (
+    average_shortest_path_hops,
+    eccentricity_distribution,
+    geographic_stretch,
+    hop_diameter,
+    weighted_diameter,
+)
+from repro.topology.graph import Topology
+
+
+class TestAveragePathAndDiameter:
+    def test_path_graph_diameter(self, path_topology):
+        assert hop_diameter(path_topology) == 5
+
+    def test_star_diameter(self, star_topology):
+        assert hop_diameter(star_topology) == 2
+
+    def test_average_path_star(self, star_topology):
+        # 5 pairs at distance 1 (hub-leaf) * 2 directions + 20 leaf-leaf at 2.
+        expected = (10 * 1 + 20 * 2) / 30
+        assert average_shortest_path_hops(star_topology) == pytest.approx(expected)
+
+    def test_sampled_average_close_to_exact(self, path_topology):
+        exact = average_shortest_path_hops(path_topology)
+        sampled = average_shortest_path_hops(path_topology, sample_size=3, seed=1)
+        assert abs(exact - sampled) < 2.0
+
+    def test_single_node(self):
+        topo = Topology()
+        topo.add_node("only")
+        assert average_shortest_path_hops(topo) == 0.0
+        assert hop_diameter(topo) == 0
+
+    def test_weighted_diameter(self, triangle_topology):
+        assert weighted_diameter(triangle_topology) == pytest.approx(2 ** 0.5)
+
+
+class TestEccentricity:
+    def test_path_eccentricities(self, path_topology):
+        eccentricities = eccentricity_distribution(path_topology)
+        assert eccentricities[0] == 5
+        assert eccentricities[2] == 3
+        assert eccentricities[5] == 5
+
+
+class TestGeographicStretch:
+    def test_straight_line_topology_has_stretch_one(self):
+        topo = Topology()
+        topo.add_node("a", location=(0.0, 0.0))
+        topo.add_node("b", location=(1.0, 0.0))
+        topo.add_node("c", location=(2.0, 0.0))
+        topo.add_link("a", "b")
+        topo.add_link("b", "c")
+        stretch = geographic_stretch(topo, pairs=[("a", "c")])
+        assert stretch == pytest.approx(1.0)
+
+    def test_detour_increases_stretch(self):
+        topo = Topology()
+        topo.add_node("a", location=(0.0, 0.0))
+        topo.add_node("b", location=(1.0, 1.0))
+        topo.add_node("c", location=(2.0, 0.0))
+        topo.add_link("a", "b")
+        topo.add_link("b", "c")
+        stretch = geographic_stretch(topo, pairs=[("a", "c")])
+        assert stretch > 1.3
+
+    def test_without_locations_returns_nan(self, path_topology):
+        assert math.isnan(geographic_stretch(path_topology))

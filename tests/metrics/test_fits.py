@@ -1,0 +1,124 @@
+"""Tests for repro.metrics.fits — power-law vs exponential tail classification."""
+
+import math
+import random
+
+import pytest
+
+from repro.metrics.fits import (
+    ccdf_linear_fit_r2,
+    classify_tail,
+    fit_exponential,
+    fit_power_law,
+)
+
+
+def sample_power_law(n: int, exponent: float, k_min: int, rng: random.Random):
+    """Inverse-transform samples from a continuous power law, rounded down."""
+    samples = []
+    for _ in range(n):
+        u = rng.random()
+        value = k_min * (1.0 - u) ** (-1.0 / (exponent - 1.0))
+        samples.append(max(k_min, int(value)))
+    return samples
+
+
+def sample_geometric(n: int, rate: float, k_min: int, rng: random.Random):
+    q = math.exp(-rate)
+    samples = []
+    for _ in range(n):
+        k = k_min
+        while rng.random() < q:
+            k += 1
+        samples.append(k)
+    return samples
+
+
+class TestPowerLawFit:
+    def test_recovers_exponent(self):
+        rng = random.Random(1)
+        data = sample_power_law(5000, 2.5, 2, rng)
+        fit = fit_power_law(data, k_min=2)
+        assert 2.2 < fit.exponent < 2.8
+
+    def test_invalid_k_min(self):
+        with pytest.raises(ValueError):
+            fit_power_law([1, 2, 3], k_min=0)
+
+    def test_empty_tail_raises(self):
+        with pytest.raises(ValueError):
+            fit_power_law([1, 1, 1], k_min=5)
+
+    def test_degenerate_all_equal(self):
+        # With every observation at k_min the MLE produces a very steep exponent.
+        fit = fit_power_law([3, 3, 3], k_min=3)
+        assert fit.exponent > 3.0
+        assert fit.num_tail == 3
+
+
+class TestExponentialFit:
+    def test_recovers_rate(self):
+        rng = random.Random(2)
+        data = sample_geometric(5000, 0.5, 1, rng)
+        fit = fit_exponential(data, k_min=1)
+        assert 0.4 < fit.rate < 0.6
+
+    def test_degenerate_all_equal(self):
+        fit = fit_exponential([2, 2, 2], k_min=2)
+        assert math.isinf(fit.rate)
+
+    def test_num_tail(self):
+        fit = fit_exponential([1, 2, 3, 4, 5], k_min=3)
+        assert fit.num_tail == 3
+
+
+class TestClassifyTail:
+    def test_power_law_data_classified(self):
+        rng = random.Random(3)
+        data = sample_power_law(3000, 2.2, 2, rng)
+        assert classify_tail(data, k_min=2).verdict == "power-law"
+
+    def test_geometric_data_classified(self):
+        rng = random.Random(4)
+        data = sample_geometric(3000, 0.8, 1, rng)
+        assert classify_tail(data, k_min=1).verdict == "exponential"
+
+    def test_empty_sequence_raises(self):
+        with pytest.raises(ValueError):
+            classify_tail([])
+
+    def test_default_k_min_is_computed(self):
+        rng = random.Random(5)
+        data = sample_geometric(2000, 0.7, 1, rng)
+        result = classify_tail(data)
+        assert result.power_law.k_min >= 1
+
+    def test_log_likelihood_ratio_sign_matches_verdict(self):
+        rng = random.Random(6)
+        power = classify_tail(sample_power_law(3000, 2.2, 2, rng), k_min=2)
+        geo = classify_tail(sample_geometric(3000, 0.8, 1, rng), k_min=1)
+        assert power.log_likelihood_ratio > 0
+        assert geo.log_likelihood_ratio < 0
+
+    def test_high_threshold_gives_inconclusive(self):
+        rng = random.Random(7)
+        data = sample_geometric(200, 0.8, 1, rng)
+        result = classify_tail(data, k_min=1, threshold=1e9)
+        assert result.verdict == "inconclusive"
+
+
+class TestCCDFLinearFit:
+    def test_power_law_ccdf_fits_loglog(self):
+        points = [(k, k ** -1.5) for k in range(1, 50)]
+        assert ccdf_linear_fit_r2(points, log_x=True, log_y=True) > 0.99
+
+    def test_exponential_ccdf_fits_loglinear(self):
+        points = [(k, math.exp(-0.3 * k)) for k in range(1, 50)]
+        assert ccdf_linear_fit_r2(points, log_x=False, log_y=True) > 0.99
+
+    def test_too_few_points(self):
+        assert ccdf_linear_fit_r2([(1, 0.5), (2, 0.2)], log_x=True, log_y=True) == 0.0
+
+    def test_zero_probabilities_skipped(self):
+        points = [(1, 0.5), (2, 0.0), (3, 0.1), (4, 0.05)]
+        assert 0.0 <= ccdf_linear_fit_r2(points, log_x=True, log_y=True) <= 1.0

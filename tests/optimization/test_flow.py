@@ -1,0 +1,146 @@
+"""Tests for repro.optimization.flow."""
+
+import pytest
+
+from repro.optimization.flow import (
+    FlowNetwork,
+    cheapest_routing_cost,
+    network_from_topology,
+    pairwise_min_cut,
+)
+from repro.topology.graph import Topology
+
+
+def classic_network() -> FlowNetwork:
+    """A 4-node instance whose max s-t flow is 26 (limited by the arcs into t)."""
+    net = FlowNetwork()
+    net.add_arc("s", "a", 16, 1)
+    net.add_arc("s", "b", 13, 1)
+    net.add_arc("a", "b", 10, 1)
+    net.add_arc("b", "a", 4, 1)
+    net.add_arc("a", "t", 12, 1)
+    net.add_arc("b", "t", 14, 1)
+    net.add_arc("t", "b", 9, 1)  # irrelevant backward arc
+    net.add_arc("a", "b", 0, 1)
+    return net
+
+
+class TestMaxFlow:
+    def test_series_parallel(self):
+        net = FlowNetwork()
+        net.add_arc("s", "a", 10)
+        net.add_arc("a", "t", 5)
+        net.add_arc("s", "t", 3)
+        assert net.max_flow("s", "t") == pytest.approx(8.0)
+
+    def test_classic_instance(self):
+        assert classic_network().max_flow("s", "t") == pytest.approx(26.0)
+
+    def test_disconnected(self):
+        net = FlowNetwork()
+        net.add_node("s")
+        net.add_node("t")
+        assert net.max_flow("s", "t") == 0.0
+
+    def test_unknown_node_rejected(self):
+        net = FlowNetwork()
+        net.add_node("s")
+        with pytest.raises(ValueError):
+            net.max_flow("s", "ghost")
+
+    def test_negative_capacity_rejected(self):
+        net = FlowNetwork()
+        with pytest.raises(ValueError):
+            net.add_arc("a", "b", -1.0)
+
+    def test_undirected_edge(self):
+        net = FlowNetwork()
+        net.add_edge("s", "t", 7)
+        assert net.max_flow("s", "t") == pytest.approx(7.0)
+
+
+class TestMinCostFlow:
+    def test_prefers_cheap_path_first(self):
+        net = FlowNetwork()
+        net.add_arc("s", "a", 10, cost=1.0)
+        net.add_arc("a", "t", 5, cost=1.0)
+        net.add_arc("s", "t", 3, cost=5.0)
+        sent, cost = net.min_cost_flow("s", "t", 6)
+        assert sent == pytest.approx(6.0)
+        assert cost == pytest.approx(5 * 2.0 + 1 * 5.0)
+
+    def test_partial_when_capacity_insufficient(self):
+        net = FlowNetwork()
+        net.add_arc("s", "t", 4, cost=1.0)
+        sent, cost = net.min_cost_flow("s", "t", 10)
+        assert sent == pytest.approx(4.0)
+        assert cost == pytest.approx(4.0)
+
+    def test_zero_amount(self):
+        net = FlowNetwork()
+        net.add_arc("s", "t", 4, cost=1.0)
+        assert net.min_cost_flow("s", "t", 0.0) == (0.0, 0.0)
+
+    def test_negative_amount_rejected(self):
+        net = FlowNetwork()
+        net.add_arc("s", "t", 4)
+        with pytest.raises(ValueError):
+            net.min_cost_flow("s", "t", -1.0)
+
+    def test_matches_max_flow_when_saturating(self):
+        sent, _ = classic_network().min_cost_flow("s", "t", 1000.0)
+        assert sent == pytest.approx(26.0)
+
+
+class TestTopologyAdapters:
+    def build_topology(self) -> Topology:
+        topo = Topology()
+        for n in "sabt":
+            topo.add_node(n)
+        topo.add_link("s", "a", capacity=10.0, usage_cost=1.0, length=1.0)
+        topo.add_link("a", "t", capacity=5.0, usage_cost=1.0, length=1.0)
+        topo.add_link("s", "t", capacity=3.0, usage_cost=5.0, length=1.0)
+        return topo
+
+    def test_network_from_topology_preserves_nodes(self):
+        network = network_from_topology(self.build_topology())
+        assert set(network.nodes()) == {"s", "a", "b", "t"}
+
+    def test_pairwise_min_cut(self):
+        # Cut around t: 5 (a-t) + 3 (s-t) = 8.
+        assert pairwise_min_cut(self.build_topology(), "s", "t") == pytest.approx(8.0)
+
+    def test_cheapest_routing_cost(self):
+        cost = cheapest_routing_cost(self.build_topology(), "s", "t", 6.0)
+        assert cost == pytest.approx(5 * 2.0 + 1 * 5.0)
+
+    def test_cheapest_routing_infeasible_returns_none(self):
+        assert cheapest_routing_cost(self.build_topology(), "s", "t", 100.0) is None
+
+    def test_unbounded_links_use_default_capacity(self):
+        topo = Topology()
+        topo.add_node("x")
+        topo.add_node("y")
+        topo.add_link("x", "y")
+        assert pairwise_min_cut(topo, "x", "y") == float("inf")
+
+    def test_redundant_access_design_has_larger_min_cut(self):
+        from repro.core import design_access_network
+        from repro.topology.node import NodeRole
+
+        tree = design_access_network(40, seed=3, redundancy=False).topology
+        redundant = design_access_network(40, seed=3, redundancy=True).topology
+
+        def concentrator_cut(topology):
+            core = next(n.node_id for n in topology.nodes() if n.role == NodeRole.CORE)
+            concentrators = [
+                n.node_id for n in topology.nodes() if n.role == NodeRole.ACCESS
+            ]
+            network = network_from_topology(topology, default_capacity=1.0)
+            # Hop-connectivity style cut: every link counts 1.
+            for arc_index in range(len(network._capacity)):
+                if network._capacity[arc_index] > 0:
+                    network._capacity[arc_index] = 1.0
+            return network.max_flow(concentrators[0], core)
+
+        assert concentrator_cut(redundant) >= concentrator_cut(tree)

@@ -1,0 +1,115 @@
+"""Tests for repro.optimization.steiner."""
+
+import random
+
+import pytest
+
+from repro.geography.points import random_points
+from repro.optimization.mst import euclidean_mst_length
+from repro.optimization.steiner import (
+    geometric_steiner_backbone,
+    metric_closure_steiner_tree,
+    steiner_tree_cost,
+    takahashi_matsuyama_steiner_tree,
+)
+from repro.topology.graph import Topology
+
+
+def grid_graph(size: int = 4) -> Topology:
+    """A size x size grid graph with unit edge lengths."""
+    topo = Topology()
+    for r in range(size):
+        for c in range(size):
+            topo.add_node((r, c), location=(float(c), float(r)))
+    for r in range(size):
+        for c in range(size):
+            if c + 1 < size:
+                topo.add_link((r, c), (r, c + 1), length=1.0)
+            if r + 1 < size:
+                topo.add_link((r, c), (r + 1, c), length=1.0)
+    return topo
+
+
+class TestMetricClosureSteiner:
+    def test_contains_all_terminals_and_is_tree(self):
+        graph = grid_graph()
+        terminals = [(0, 0), (3, 3), (0, 3)]
+        tree = metric_closure_steiner_tree(graph, terminals)
+        for terminal in terminals:
+            assert tree.has_node(terminal)
+        assert tree.is_tree()
+
+    def test_cost_at_most_twice_mst_lower_bound(self):
+        graph = grid_graph(5)
+        terminals = [(0, 0), (4, 4), (0, 4), (4, 0)]
+        tree = metric_closure_steiner_tree(graph, terminals)
+        # Lower bound: half the MST of the metric closure <= OPT; 2-approx guarantee.
+        cost = steiner_tree_cost(tree)
+        assert cost <= 2 * 16 + 1e-9  # grid diameter-based generous bound
+        assert cost >= 8.0  # must at least connect opposite corners twice
+
+    def test_single_terminal(self):
+        graph = grid_graph()
+        tree = metric_closure_steiner_tree(graph, [(1, 1)])
+        assert tree.num_nodes == 1
+        assert tree.num_links == 0
+
+    def test_duplicate_terminals_deduplicated(self):
+        graph = grid_graph()
+        tree = metric_closure_steiner_tree(graph, [(0, 0), (0, 0), (1, 1)])
+        assert tree.has_node((0, 0)) and tree.has_node((1, 1))
+
+    def test_missing_terminal_raises(self):
+        graph = grid_graph()
+        with pytest.raises(ValueError):
+            metric_closure_steiner_tree(graph, [(99, 99)])
+
+    def test_unreachable_terminal_raises(self):
+        topo = Topology()
+        topo.add_node("a")
+        topo.add_node("b")
+        with pytest.raises(ValueError):
+            metric_closure_steiner_tree(topo, ["a", "b"])
+
+    def test_no_terminals_raises(self):
+        with pytest.raises(ValueError):
+            metric_closure_steiner_tree(grid_graph(), [])
+
+    def test_no_superfluous_leaves(self):
+        graph = grid_graph(5)
+        terminals = [(0, 0), (0, 4), (4, 2)]
+        tree = metric_closure_steiner_tree(graph, terminals)
+        for node_id in tree.node_ids():
+            if tree.degree(node_id) == 1:
+                assert node_id in terminals
+
+
+class TestTakahashiMatsuyama:
+    def test_contains_terminals_and_is_tree(self):
+        graph = grid_graph()
+        terminals = [(0, 0), (3, 3), (3, 0)]
+        tree = takahashi_matsuyama_steiner_tree(graph, terminals)
+        for terminal in terminals:
+            assert tree.has_node(terminal)
+        assert tree.is_tree()
+
+    def test_comparable_to_metric_closure(self):
+        graph = grid_graph(5)
+        terminals = [(0, 0), (4, 4), (0, 4), (2, 2)]
+        cost_tm = steiner_tree_cost(takahashi_matsuyama_steiner_tree(graph, terminals))
+        cost_mc = steiner_tree_cost(metric_closure_steiner_tree(graph, terminals))
+        assert cost_tm <= 2 * cost_mc + 1e-9
+        assert cost_mc <= 2 * cost_tm + 1e-9
+
+
+class TestGeometricBackbone:
+    def test_is_tree_spanning_all_points(self):
+        points = random_points(15, random.Random(5))
+        backbone = geometric_steiner_backbone(points)
+        assert backbone.is_tree()
+        assert backbone.num_nodes == 15
+
+    def test_total_length_equals_euclidean_mst(self):
+        points = random_points(12, random.Random(6))
+        backbone = geometric_steiner_backbone(points)
+        assert backbone.total_length() == pytest.approx(euclidean_mst_length(points))

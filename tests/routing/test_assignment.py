@@ -1,0 +1,100 @@
+"""Tests for repro.routing.assignment."""
+
+import pytest
+
+from repro.geography.demand import DemandMatrix
+from repro.routing.assignment import assign_demand, route_customer_demand_to_core
+from repro.topology.graph import Topology
+from repro.topology.node import NodeRole
+
+
+def backbone() -> Topology:
+    topo = Topology()
+    for name, loc in [("x", (0, 0)), ("y", (1, 0)), ("z", (2, 0))]:
+        topo.add_node(name, location=loc)
+    topo.add_link("x", "y")
+    topo.add_link("y", "z")
+    return topo
+
+
+class TestAssignDemand:
+    def test_loads_accumulate_along_path(self):
+        topo = backbone()
+        demand = DemandMatrix(endpoints=["x", "z"])
+        demand.set_demand("x", "z", 7.0)
+        result = assign_demand(topo, demand)
+        assert result.routed_volume == pytest.approx(7.0)
+        assert topo.link("x", "y").load == pytest.approx(7.0)
+        assert topo.link("y", "z").load == pytest.approx(7.0)
+
+    def test_multiple_pairs_sum(self):
+        topo = backbone()
+        demand = DemandMatrix(endpoints=["x", "y", "z"])
+        demand.set_demand("x", "y", 2.0)
+        demand.set_demand("x", "z", 3.0)
+        assign_demand(topo, demand)
+        assert topo.link("x", "y").load == pytest.approx(5.0)
+        assert topo.link("y", "z").load == pytest.approx(3.0)
+
+    def test_unrouted_missing_node(self):
+        topo = backbone()
+        demand = DemandMatrix(endpoints=["x", "ghost"])
+        demand.set_demand("x", "ghost", 4.0)
+        result = assign_demand(topo, demand)
+        assert result.unrouted_volume == pytest.approx(4.0)
+        assert result.routed_volume == 0.0
+
+    def test_endpoint_map(self):
+        topo = backbone()
+        demand = DemandMatrix(endpoints=["alpha", "omega"])
+        demand.set_demand("alpha", "omega", 1.0)
+        result = assign_demand(topo, demand, endpoint_map={"alpha": "x", "omega": "z"})
+        assert result.routed_volume == pytest.approx(1.0)
+
+    def test_reset_loads(self):
+        topo = backbone()
+        topo.link("x", "y").load = 99.0
+        demand = DemandMatrix(endpoints=["x", "z"])
+        demand.set_demand("x", "z", 1.0)
+        assign_demand(topo, demand, reset_loads=True)
+        assert topo.link("x", "y").load == pytest.approx(1.0)
+
+    def test_paths_recorded(self):
+        topo = backbone()
+        demand = DemandMatrix(endpoints=["x", "z"])
+        demand.set_demand("x", "z", 1.0)
+        result = assign_demand(topo, demand)
+        assert result.paths[("x", "z")] == ["x", "y", "z"]
+
+
+class TestCustomerToCore:
+    def build(self) -> Topology:
+        topo = Topology()
+        topo.add_node("core", role=NodeRole.CORE, location=(0, 0))
+        topo.add_node("agg", role=NodeRole.ACCESS, location=(1, 0))
+        topo.add_node("c1", role=NodeRole.CUSTOMER, location=(2, 0), demand=3.0)
+        topo.add_node("c2", role=NodeRole.CUSTOMER, location=(2, 1), demand=5.0)
+        topo.add_link("core", "agg")
+        topo.add_link("agg", "c1")
+        topo.add_link("agg", "c2")
+        return topo
+
+    def test_all_demand_routed(self):
+        topo = self.build()
+        result = route_customer_demand_to_core(topo)
+        assert result.routed_volume == pytest.approx(8.0)
+        assert topo.link("core", "agg").load == pytest.approx(8.0)
+
+    def test_no_core_reports_unrouted(self):
+        topo = self.build()
+        topo.remove_node("core")
+        result = route_customer_demand_to_core(topo)
+        assert result.routed_volume == 0.0
+        assert result.unrouted_volume == pytest.approx(8.0)
+
+    def test_disconnected_customer_reported(self):
+        topo = self.build()
+        topo.remove_link("agg", "c2")
+        result = route_customer_demand_to_core(topo)
+        assert result.routed_volume == pytest.approx(3.0)
+        assert result.unrouted_volume == pytest.approx(5.0)

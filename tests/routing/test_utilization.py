@@ -1,0 +1,73 @@
+"""Tests for repro.routing.utilization."""
+
+import pytest
+
+from repro.routing.utilization import (
+    load_concentration,
+    most_loaded_links,
+    utilization_report,
+)
+from repro.topology.graph import Topology
+
+
+def loaded_topology() -> Topology:
+    topo = Topology()
+    for n in "abcd":
+        topo.add_node(n)
+    topo.add_link("a", "b", capacity=100.0, load=50.0)
+    topo.add_link("b", "c", capacity=100.0, load=90.0)
+    topo.add_link("c", "d", capacity=10.0, load=20.0)  # overloaded
+    topo.add_link("a", "d", load=5.0)  # no capacity annotation
+    return topo
+
+
+class TestUtilizationReport:
+    def test_mean_and_peak(self):
+        report = utilization_report(loaded_topology())
+        assert report.mean_utilization == pytest.approx((0.5 + 0.9 + 2.0) / 3)
+        assert report.peak_utilization == pytest.approx(2.0)
+
+    def test_overloaded_links_detected(self):
+        report = utilization_report(loaded_topology())
+        assert len(report.overloaded_links) == 1
+
+    def test_totals(self):
+        report = utilization_report(loaded_topology())
+        assert report.total_load == pytest.approx(165.0)
+        assert report.total_capacity == pytest.approx(210.0)
+
+    def test_histogram_counts_links_with_capacity(self):
+        report = utilization_report(loaded_topology())
+        assert sum(report.utilization_histogram.values()) == 3
+
+    def test_empty_topology(self):
+        report = utilization_report(Topology())
+        assert report.mean_utilization == 0.0
+        assert report.peak_utilization == 0.0
+
+
+class TestLoadHelpers:
+    def test_most_loaded_links(self):
+        ranked = most_loaded_links(loaded_topology(), k=2)
+        assert len(ranked) == 2
+        assert ranked[0][1] >= ranked[1][1]
+        assert ranked[0][1] == pytest.approx(90.0)
+
+    def test_most_loaded_invalid_k(self):
+        with pytest.raises(ValueError):
+            most_loaded_links(loaded_topology(), k=-1)
+
+    def test_load_concentration(self):
+        concentration = load_concentration(loaded_topology(), top_fraction=0.25)
+        assert concentration == pytest.approx(90.0 / 165.0)
+
+    def test_load_concentration_no_traffic(self):
+        topo = Topology()
+        topo.add_node("a")
+        topo.add_node("b")
+        topo.add_link("a", "b")
+        assert load_concentration(topo) == 0.0
+
+    def test_load_concentration_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            load_concentration(loaded_topology(), top_fraction=0.0)

@@ -1,0 +1,147 @@
+"""Property-based tests on routing, flow, and Steiner-tree invariants."""
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.geography.demand import DemandMatrix
+from repro.geography.points import euclidean
+from repro.optimization.flow import FlowNetwork, network_from_topology
+from repro.optimization.mst import euclidean_mst_length, prim_mst_points
+from repro.optimization.steiner import geometric_steiner_backbone
+from repro.routing.assignment import assign_demand
+from repro.routing.utilization import utilization_report
+from repro.topology.graph import Topology
+
+
+coordinates = st.tuples(
+    st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+)
+
+
+def random_connected_topology(rng: random.Random, n: int, extra_links: int) -> Topology:
+    """A random connected topology: random tree plus ``extra_links`` chords."""
+    topology = Topology()
+    for i in range(n):
+        topology.add_node(i, location=(rng.random(), rng.random()))
+    for i in range(1, n):
+        topology.add_link(i, rng.randrange(i))
+    added = 0
+    attempts = 0
+    while added < extra_links and attempts < 20 * extra_links + 20:
+        attempts += 1
+        u, v = rng.randrange(n), rng.randrange(n)
+        if u != v and not topology.has_link(u, v):
+            topology.add_link(u, v)
+            added += 1
+    return topology
+
+
+class TestRoutingProperties:
+    @given(
+        st.integers(min_value=3, max_value=20),
+        st.integers(min_value=0, max_value=10),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_assigned_volume_conservation(self, n, extra_links, seed):
+        """Routed volume plus unrouted volume equals the offered volume."""
+        rng = random.Random(seed)
+        topology = random_connected_topology(rng, n, extra_links)
+        endpoints = [str(i) for i in range(n)]
+        demand = DemandMatrix(endpoints=endpoints)
+        offered = 0.0
+        for _ in range(min(10, n)):
+            a, b = rng.sample(range(n), 2)
+            volume = rng.uniform(0.5, 5.0)
+            demand.set_demand(str(a), str(b), demand.demand(str(a), str(b)) + volume)
+        offered = demand.total()
+        result = assign_demand(topology, demand, endpoint_map={str(i): i for i in range(n)})
+        assert abs((result.routed_volume + result.unrouted_volume) - offered) < 1e-6
+
+    @given(
+        st.integers(min_value=3, max_value=15),
+        st.integers(min_value=0, max_value=8),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_total_link_load_at_least_offered_volume(self, n, extra_links, seed):
+        """Each routed unit traverses at least one link (connected topology)."""
+        rng = random.Random(seed)
+        topology = random_connected_topology(rng, n, extra_links)
+        endpoints = [str(i) for i in range(n)]
+        demand = DemandMatrix(endpoints=endpoints)
+        a, b = rng.sample(range(n), 2)
+        demand.set_demand(str(a), str(b), 3.0)
+        assign_demand(topology, demand, endpoint_map={str(i): i for i in range(n)})
+        report = utilization_report(topology)
+        assert report.total_load >= 3.0 - 1e-9
+
+
+class TestFlowProperties:
+    @given(
+        st.integers(min_value=3, max_value=12),
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_max_flow_bounded_by_source_capacity(self, n, extra_links, seed):
+        """Max flow never exceeds the total capacity leaving the source."""
+        rng = random.Random(seed)
+        topology = random_connected_topology(rng, n, extra_links)
+        for link in topology.links():
+            link.capacity = rng.uniform(1.0, 10.0)
+        network = network_from_topology(topology)
+        source, sink = 0, n - 1
+        out_capacity = sum(link.capacity for link in topology.incident_links(source))
+        in_capacity = sum(link.capacity for link in topology.incident_links(sink))
+        flow = network.max_flow(source, sink)
+        assert flow <= out_capacity + 1e-9
+        assert flow <= in_capacity + 1e-9
+        assert flow >= 0.0
+
+    @given(
+        st.integers(min_value=3, max_value=10),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_min_cost_flow_never_cheaper_than_unit_shortest_path(self, n, seed):
+        """For one unit of demand, min-cost flow equals the cheapest path cost."""
+        rng = random.Random(seed)
+        topology = random_connected_topology(rng, n, extra_links=3)
+        for link in topology.links():
+            link.capacity = 100.0
+            link.usage_cost = rng.uniform(0.1, 2.0)
+        from repro.optimization.shortest_path import dijkstra
+
+        distances, _ = dijkstra(topology, 0, weight=lambda link: link.usage_cost)
+        network = network_from_topology(topology)
+        sent, cost = network.min_cost_flow(0, n - 1, 1.0)
+        assert sent == 1.0
+        assert abs(cost - distances[n - 1]) < 1e-6
+
+
+class TestSteinerProperties:
+    @given(st.lists(coordinates, min_size=3, max_size=15))
+    @settings(max_examples=40, deadline=None)
+    def test_backbone_length_equals_mst_and_bounds_tour(self, points):
+        """The geometric backbone has MST length, which lower-bounds any tour."""
+        backbone = geometric_steiner_backbone(points)
+        mst_length = euclidean_mst_length(points)
+        assert abs(backbone.total_length() - mst_length) < 1e-9
+        tour = sum(euclidean(points[i], points[i + 1]) for i in range(len(points) - 1))
+        assert mst_length <= tour + 1e-9
+
+    @given(st.lists(coordinates, min_size=2, max_size=15))
+    @settings(max_examples=40, deadline=None)
+    def test_mst_edges_form_acyclic_spanning_structure(self, points):
+        edges = prim_mst_points(points)
+        assert len(edges) == len(points) - 1
+        seen = set()
+        for u, v in edges:
+            seen.add(u)
+            seen.add(v)
+        if len(points) > 1:
+            assert seen == set(range(len(points)))

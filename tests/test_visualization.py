@@ -1,0 +1,115 @@
+"""Tests for repro.visualization.svg."""
+
+import xml.etree.ElementTree as ElementTree
+
+import pytest
+
+from repro.core import generate_fkp_tree, random_instance, solve_meyerson
+from repro.topology.graph import Topology
+from repro.visualization import (
+    SVGCanvas,
+    ccdf_to_svg,
+    degree_ccdf_svg,
+    save_ccdf_svg,
+    save_topology_svg,
+    topology_to_svg,
+)
+
+SVG_NS = "{http://www.w3.org/2000/svg}"
+
+
+def parse_svg(document: str) -> ElementTree.Element:
+    return ElementTree.fromstring(document)
+
+
+class TestSVGCanvas:
+    def test_render_is_valid_xml(self):
+        canvas = SVGCanvas(width=100, height=50)
+        canvas.line(0, 0, 10, 10)
+        canvas.circle(5, 5, 2, title="hello & <world>")
+        canvas.text(1, 1, "label <>&\"")
+        root = parse_svg(canvas.render())
+        assert root.tag == f"{SVG_NS}svg"
+
+    def test_elements_present(self):
+        canvas = SVGCanvas(width=100, height=50)
+        canvas.line(0, 0, 10, 10)
+        canvas.circle(5, 5, 2)
+        canvas.text(1, 1, "label")
+        root = parse_svg(canvas.render())
+        tags = [child.tag for child in root]
+        assert f"{SVG_NS}line" in tags
+        assert f"{SVG_NS}circle" in tags
+        assert f"{SVG_NS}text" in tags
+
+
+class TestTopologySVG:
+    def test_empty_topology_rejected(self):
+        with pytest.raises(ValueError):
+            topology_to_svg(Topology())
+
+    def test_node_and_link_counts(self, star_topology):
+        root = parse_svg(topology_to_svg(star_topology))
+        circles = root.findall(f".//{SVG_NS}circle")
+        lines = root.findall(f".//{SVG_NS}line")
+        assert len(circles) == star_topology.num_nodes
+        assert len(lines) >= star_topology.num_links
+
+    def test_nodes_without_locations_are_placed(self, path_topology):
+        root = parse_svg(topology_to_svg(path_topology))
+        circles = root.findall(f".//{SVG_NS}circle")
+        assert len(circles) == path_topology.num_nodes
+
+    def test_provisioned_topology_renders_cable_legend(self):
+        solution = solve_meyerson(random_instance(50, seed=1), seed=1)
+        document = topology_to_svg(solution.topology)
+        cables = {link.cable for link in solution.topology.links() if link.cable}
+        for cable in cables:
+            assert cable in document
+
+    def test_title_defaults_to_topology_name(self, star_topology):
+        assert star_topology.name in topology_to_svg(star_topology)
+
+    def test_save_topology_svg(self, tmp_path, star_topology):
+        path = tmp_path / "star.svg"
+        save_topology_svg(star_topology, path)
+        assert path.exists()
+        parse_svg(path.read_text())
+
+    def test_coordinates_within_canvas(self, triangle_topology):
+        width, height = 400.0, 300.0
+        root = parse_svg(topology_to_svg(triangle_topology, width=width, height=height))
+        for circle in root.findall(f".//{SVG_NS}circle"):
+            assert 0.0 <= float(circle.get("cx")) <= width
+            assert 0.0 <= float(circle.get("cy")) <= height
+
+
+class TestCCDFSVG:
+    def test_empty_series_rejected(self):
+        with pytest.raises(ValueError):
+            ccdf_to_svg({})
+
+    def test_zero_probability_series_rejected(self):
+        with pytest.raises(ValueError):
+            ccdf_to_svg({"empty": [(1, 0.0)]})
+
+    def test_valid_chart(self):
+        tree = generate_fkp_tree(120, alpha=4.0, seed=1)
+        document = degree_ccdf_svg({"fkp": tree})
+        root = parse_svg(document)
+        assert root.findall(f".//{SVG_NS}circle")
+        assert "fkp" in document
+
+    def test_multiple_series_labels_present(self):
+        trees = {
+            "power-law": generate_fkp_tree(120, alpha=4.0, seed=1),
+            "exponential": generate_fkp_tree(120, alpha=30.0, seed=1),
+        }
+        document = degree_ccdf_svg(trees)
+        assert "power-law" in document and "exponential" in document
+
+    def test_save_ccdf_svg(self, tmp_path):
+        tree = generate_fkp_tree(80, alpha=4.0, seed=2)
+        path = tmp_path / "ccdf.svg"
+        save_ccdf_svg({"fkp": tree}, path, log_x=False)
+        parse_svg(path.read_text())

@@ -1,0 +1,50 @@
+"""Tests for repro.topology.builder.TopologyBuilder."""
+
+from repro.topology.builder import TopologyBuilder
+from repro.topology.node import NodeRole
+
+
+class TestTopologyBuilder:
+    def test_auto_ids_are_unique(self):
+        builder = TopologyBuilder()
+        ids = [builder.add_customer((0, 0)) for _ in range(5)]
+        assert len(set(ids)) == 5
+
+    def test_role_specific_helpers(self):
+        builder = TopologyBuilder()
+        core = builder.add_core((0.5, 0.5))
+        backbone = builder.add_backbone((0.2, 0.2))
+        dist = builder.add_distribution((0.1, 0.1))
+        access = builder.add_access((0.05, 0.05))
+        customer = builder.add_customer((0.0, 0.0), demand=4.0)
+        peering = builder.add_peering((0.9, 0.9))
+        topo = builder.build()
+        assert topo.node(core).role == NodeRole.CORE
+        assert topo.node(backbone).role == NodeRole.BACKBONE
+        assert topo.node(dist).role == NodeRole.DISTRIBUTION
+        assert topo.node(access).role == NodeRole.ACCESS
+        assert topo.node(customer).role == NodeRole.CUSTOMER
+        assert topo.node(customer).demand == 4.0
+        assert topo.node(peering).role == NodeRole.PEERING
+
+    def test_explicit_node_id(self):
+        builder = TopologyBuilder()
+        node_id = builder.add(NodeRole.CORE, node_id="my-core")
+        assert node_id == "my-core"
+        assert builder.topology.has_node("my-core")
+
+    def test_connect(self):
+        builder = TopologyBuilder()
+        a = builder.add_core((0, 0))
+        b = builder.add_customer((1, 0))
+        link = builder.connect(a, b, capacity=100.0)
+        assert link.capacity == 100.0
+        assert builder.topology.num_links == 1
+
+    def test_connect_if_absent(self):
+        builder = TopologyBuilder()
+        a = builder.add_core((0, 0))
+        b = builder.add_customer((1, 0))
+        assert builder.connect_if_absent(a, b) is not None
+        assert builder.connect_if_absent(a, b) is None
+        assert builder.topology.num_links == 1

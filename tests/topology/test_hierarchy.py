@@ -1,0 +1,111 @@
+"""Tests for repro.topology.hierarchy."""
+
+import math
+
+import pytest
+
+from repro.topology.graph import Topology
+from repro.topology.hierarchy import (
+    assign_levels_by_distance,
+    is_downward_tree,
+    level_of,
+    relabel_roles_from_levels,
+    summarize_hierarchy,
+)
+from repro.topology.node import NodeRole
+
+
+def build_isp_like_tree() -> Topology:
+    """core - backbone - distribution - customer chain plus an extra customer."""
+    topo = Topology()
+    topo.add_node("core", role=NodeRole.CORE)
+    topo.add_node("bb", role=NodeRole.BACKBONE)
+    topo.add_node("dist", role=NodeRole.DISTRIBUTION)
+    topo.add_node("cust1", role=NodeRole.CUSTOMER, demand=1.0)
+    topo.add_node("cust2", role=NodeRole.CUSTOMER, demand=2.0)
+    topo.add_link("core", "bb")
+    topo.add_link("bb", "dist")
+    topo.add_link("dist", "cust1")
+    topo.add_link("dist", "cust2")
+    return topo
+
+
+class TestLevelOf:
+    def test_every_role_maps_to_a_level(self):
+        for role in NodeRole:
+            assert isinstance(level_of(role), str)
+
+    def test_peering_maps_to_backbone(self):
+        assert level_of(NodeRole.PEERING) == "backbone"
+
+
+class TestSummarizeHierarchy:
+    def test_level_counts(self):
+        summary = summarize_hierarchy(build_isp_like_tree())
+        assert summary.count("core") == 1
+        assert summary.count("backbone") == 1
+        assert summary.count("distribution") == 1
+        assert summary.count("customer") == 2
+
+    def test_inter_vs_intra_links(self):
+        summary = summarize_hierarchy(build_isp_like_tree())
+        assert summary.inter_level_links == 4
+        assert summary.intra_level_links == 0
+
+    def test_backbone_fraction(self):
+        summary = summarize_hierarchy(build_isp_like_tree())
+        assert summary.backbone_fraction == pytest.approx(2 / 5)
+
+    def test_mean_customer_depth(self):
+        summary = summarize_hierarchy(build_isp_like_tree())
+        assert summary.mean_customer_depth == pytest.approx(3.0)
+
+    def test_mean_customer_depth_nan_without_core(self):
+        topo = Topology()
+        topo.add_node("x", role=NodeRole.CUSTOMER)
+        summary = summarize_hierarchy(topo)
+        assert math.isnan(summary.mean_customer_depth)
+
+    def test_level_link_matrix(self):
+        summary = summarize_hierarchy(build_isp_like_tree())
+        assert summary.level_link_matrix[("customer", "distribution")] == 2
+
+
+class TestAssignLevels:
+    def test_levels_follow_distance(self, path_topology):
+        assignment = assign_levels_by_distance(path_topology, [0])
+        assert assignment[0] == "core"
+        assert assignment[1] == "backbone"
+        assert assignment[2] == "distribution"
+        assert assignment[3] == "access"
+        assert assignment[4] == "customer"
+        assert assignment[5] == "customer"
+
+    def test_unknown_core_raises(self, path_topology):
+        with pytest.raises(ValueError):
+            assign_levels_by_distance(path_topology, ["nope"])
+
+    def test_unreachable_nodes_are_customers(self):
+        topo = Topology()
+        topo.add_node("a")
+        topo.add_node("b")
+        assignment = assign_levels_by_distance(topo, ["a"])
+        assert assignment["b"] == "customer"
+
+    def test_relabel_roles(self, path_topology):
+        assignment = assign_levels_by_distance(path_topology, [0])
+        relabel_roles_from_levels(path_topology, assignment)
+        assert path_topology.node(0).role == NodeRole.CORE
+        assert path_topology.node(5).role == NodeRole.CUSTOMER
+
+
+class TestDownwardTree:
+    def test_clean_hierarchy_is_downward(self):
+        assert is_downward_tree(build_isp_like_tree())
+
+    def test_double_uplink_is_not_downward(self):
+        topo = build_isp_like_tree()
+        topo.add_node("bb2", role=NodeRole.BACKBONE)
+        topo.add_link("core", "bb2")
+        topo.add_link("bb2", "dist")  # dist now has two uplinks
+        assert not is_downward_tree(topo)

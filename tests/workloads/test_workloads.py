@@ -1,0 +1,126 @@
+"""Tests for repro.workloads (cities, matrices, scenarios)."""
+
+import pytest
+
+from repro.workloads.cities import (
+    REFERENCE_CITIES,
+    metro_customers,
+    reference_population,
+    scaled_population,
+)
+from repro.workloads.matrices import (
+    demand_locality_fraction,
+    hub_and_spoke_matrix,
+    national_gravity_matrix,
+    national_uniform_matrix,
+)
+from repro.workloads.scenarios import all_scenarios, fkp_phase_scenario
+
+
+class TestReferenceCities:
+    def test_reference_population_size(self):
+        population = reference_population()
+        assert len(population.cities) == len(REFERENCE_CITIES)
+
+    def test_reference_city_names_unique(self):
+        names = [name for name, *_ in REFERENCE_CITIES]
+        assert len(names) == len(set(names))
+
+    def test_all_cities_inside_region(self):
+        population = reference_population()
+        assert all(population.region.contains(c.location) for c in population.cities)
+
+    def test_scaled_population_small_uses_reference(self):
+        population = scaled_population(5)
+        reference_names = {name for name, *_ in REFERENCE_CITIES}
+        assert all(c.name in reference_names for c in population.cities)
+        assert len(population.cities) == 5
+
+    def test_scaled_population_large_is_synthetic(self):
+        population = scaled_population(40, seed=1)
+        assert len(population.cities) == 40
+
+    def test_scaled_population_invalid(self):
+        with pytest.raises(ValueError):
+            scaled_population(0)
+
+
+class TestMetroCustomers:
+    def test_count_and_region(self):
+        customers, region = metro_customers(50, seed=1)
+        assert len(customers) == 50
+        assert all(region.contains(c.location) for c in customers)
+
+    def test_deterministic(self):
+        a, _ = metro_customers(20, seed=2)
+        b, _ = metro_customers(20, seed=2)
+        assert [c.location for c in a] == [c.location for c in b]
+
+    def test_demand_range_respected(self):
+        customers, _ = metro_customers(30, seed=3, demand_range=(2.0, 4.0))
+        assert all(2.0 <= c.demand <= 4.0 for c in customers)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            metro_customers(0)
+        with pytest.raises(ValueError):
+            metro_customers(5, demand_range=(4.0, 2.0))
+
+
+class TestMatrices:
+    def test_gravity_matrix_total(self):
+        population = reference_population()
+        matrix = national_gravity_matrix(population, num_cities=10, total_volume=500.0)
+        assert matrix.total() == pytest.approx(500.0)
+
+    def test_uniform_matrix_total(self):
+        population = reference_population()
+        matrix = national_uniform_matrix(population, num_cities=6, total_volume=60.0)
+        assert matrix.total() == pytest.approx(60.0)
+
+    def test_hub_and_spoke(self):
+        population = reference_population()
+        cities = population.largest(5)
+        matrix = hub_and_spoke_matrix(cities, hub_name=cities[0].name, total_volume=100.0)
+        assert matrix.outgoing(cities[0].name) == pytest.approx(100.0)
+
+    def test_hub_and_spoke_unknown_hub(self):
+        cities = reference_population().largest(3)
+        with pytest.raises(ValueError):
+            hub_and_spoke_matrix(cities, hub_name="atlantis")
+
+    def test_gravity_more_local_than_uniform(self):
+        population = reference_population()
+        cities = population.largest(12)
+        gravity = national_gravity_matrix(population, num_cities=12)
+        uniform = national_uniform_matrix(population, num_cities=12)
+        radius = 0.3 * population.region.diagonal
+        assert demand_locality_fraction(gravity, cities, radius) >= demand_locality_fraction(
+            uniform, cities, radius
+        )
+
+    def test_locality_invalid_radius(self):
+        population = reference_population()
+        matrix = national_uniform_matrix(population, num_cities=4)
+        with pytest.raises(ValueError):
+            demand_locality_fraction(matrix, population.largest(4), radius=0.0)
+
+
+class TestScenarios:
+    def test_all_scenarios_have_unique_ids(self):
+        scenarios = all_scenarios()
+        ids = [s.experiment_id for s in scenarios]
+        assert len(ids) == len(set(ids)) == 8
+        assert ids == [f"E{i}" for i in range(1, 9)]
+
+    def test_every_scenario_documents_a_claim(self):
+        for scenario in all_scenarios():
+            assert scenario.paper_claim
+            assert scenario.parameters
+
+    def test_fkp_scenario_alphas_cover_regimes(self):
+        from repro.core.fkp import alpha_regime
+
+        scenario = fkp_phase_scenario(num_nodes=1000)
+        regimes = {alpha_regime(a, 1000) for a in scenario.parameters["alphas"]}
+        assert regimes == {"star", "power-law", "exponential"}
