@@ -1,0 +1,365 @@
+"""Compiled graph backend vs. legacy object-graph kernels.
+
+Compares the CSR-backed kernels introduced with ``repro.topology.compiled``
+against the pure object-graph implementations they replaced (inlined below,
+verbatim from the seed), on a 1000-node GLP topology:
+
+* all-pairs shortest lengths (array API and dict API),
+* random and targeted removal traces,
+* customer→core demand routing, where the kernel invocation counters verify
+  that one multi-source search replaces the per-customer single-source loop.
+
+Run directly (``python benchmarks/bench_compiled_graph.py``) or via pytest.
+Writes ``BENCH_compiled_graph.json`` at the repository root and a text table
+under ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+import random
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))  # for _report when run directly
+
+from _report import emit_rows
+from repro.generators.glp import GLPGenerator
+from repro.metrics.resilience import removal_trace
+from repro.optimization.shortest_path import (
+    all_pairs_length_matrix,
+    all_pairs_shortest_lengths,
+)
+from repro.routing.assignment import route_customer_demand_to_core
+from repro.routing.paths import resolve_weight
+from repro.topology.compiled import KERNEL_COUNTERS
+from repro.topology.node import NodeRole
+
+NUM_NODES = 1000
+CORE_COUNT = 50
+SEED = 7
+REPEATS = 3
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+JSON_PATH = REPO_ROOT / "BENCH_compiled_graph.json"
+
+
+def build_topology():
+    topo = GLPGenerator().generate(NUM_NODES, seed=SEED)
+    ranked = sorted(topo.nodes(), key=lambda n: topo.degree(n.node_id), reverse=True)
+    for rank, node in enumerate(ranked):
+        if rank < CORE_COUNT:
+            node.role = NodeRole.CORE
+        else:
+            node.role = NodeRole.CUSTOMER
+            node.demand = 1.0
+    return topo
+
+
+def best_of(callable_, repeats=REPEATS):
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = callable_()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+# ----------------------------------------------------------------------
+# Legacy kernels (seed implementations, object graph)
+# ----------------------------------------------------------------------
+def legacy_dijkstra(topology, source, weight=None):
+    if weight is None:
+        weight = lambda link: link.length if link.length > 0 else 1.0
+    distances = {source: 0.0}
+    predecessors = {}
+    visited = set()
+    counter = 0
+    heap = [(0.0, counter, source)]
+    while heap:
+        distance, _, current = heapq.heappop(heap)
+        if current in visited:
+            continue
+        visited.add(current)
+        for link in topology.incident_links(current):
+            neighbor = link.other_end(current)
+            if neighbor in visited:
+                continue
+            candidate = distance + weight(link)
+            if candidate < distances.get(neighbor, float("inf")):
+                distances[neighbor] = candidate
+                predecessors[neighbor] = current
+                counter += 1
+                heapq.heappush(heap, (candidate, counter, neighbor))
+    return distances, predecessors
+
+
+def legacy_all_pairs(topology):
+    return {s: legacy_dijkstra(topology, s)[0] for s in topology.node_ids()}
+
+
+def legacy_bfs_reachable(topology, source):
+    adjacency = topology._adjacency
+    visited = {source}
+    queue = [source]
+    head = 0
+    while head < len(queue):
+        current = queue[head]
+        head += 1
+        for neighbor in adjacency[current]:
+            if neighbor not in visited:
+                visited.add(neighbor)
+                queue.append(neighbor)
+    return visited
+
+
+def legacy_largest_component_fraction(topology, original_size):
+    if topology.num_nodes == 0 or original_size == 0:
+        return 0.0
+    remaining = set(topology.node_ids())
+    best = 0
+    while remaining:
+        component = legacy_bfs_reachable(topology, next(iter(remaining)))
+        best = max(best, len(component))
+        remaining -= component
+    return best / original_size
+
+
+def legacy_disconnected_demand_fraction(topology, total_demand):
+    if total_demand <= 0:
+        return 0.0
+    cores = [n.node_id for n in topology.nodes() if n.role == NodeRole.CORE]
+    if not cores:
+        return 0.0
+    reachable = set()
+    for core in cores:
+        reachable.update(legacy_bfs_reachable(topology, core))
+    connected = sum(
+        n.demand
+        for n in topology.nodes()
+        if n.role == NodeRole.CUSTOMER and n.node_id in reachable
+    )
+    return 1.0 - connected / total_demand
+
+
+def legacy_removal_trace(topology, strategy, steps=20, max_fraction=0.5, seed=0):
+    working = topology.copy()
+    original_size = topology.num_nodes
+    total_demand = sum(
+        n.demand for n in topology.nodes() if n.role == NodeRole.CUSTOMER
+    )
+    rng = random.Random(seed)
+    removable = list(topology.node_ids())
+    total_to_remove = min(int(max_fraction * original_size), len(removable))
+    per_step = max(1, total_to_remove // steps)
+    fractions = [0.0]
+    largest = [legacy_largest_component_fraction(working, original_size)]
+    demand_loss = [legacy_disconnected_demand_fraction(working, total_demand)]
+    removed = 0
+    if strategy == "random":
+        rng.shuffle(removable)
+    while removed < total_to_remove:
+        batch = min(per_step, total_to_remove - removed)
+        for _ in range(batch):
+            if strategy == "targeted":
+                candidates = [n for n in working.node_ids() if n in set(removable)]
+                if not candidates:
+                    break
+                victim = max(candidates, key=working.degree)
+                removable.remove(victim)
+            else:
+                victim = None
+                while removable:
+                    candidate = removable.pop()
+                    if working.has_node(candidate):
+                        victim = candidate
+                        break
+                if victim is None:
+                    break
+            if working.has_node(victim):
+                working.remove_node(victim)
+                removed += 1
+        fractions.append(removed / original_size)
+        largest.append(legacy_largest_component_fraction(working, original_size))
+        demand_loss.append(legacy_disconnected_demand_fraction(working, total_demand))
+        if not removable:
+            break
+    return fractions, largest, demand_loss
+
+
+def legacy_route_customer_demand_to_core(topology):
+    """Seed routing loop: one cached single-source search per customer,
+    one distance query per (customer, core) pair."""
+    cores = [n.node_id for n in topology.nodes() if n.role == NodeRole.CORE]
+    customers = [
+        n for n in topology.nodes() if n.role == NodeRole.CUSTOMER and n.demand > 0
+    ]
+    weight = resolve_weight(None)
+    searches = 0
+    queries = 0
+    cache = {}
+    routed = 0.0
+    for customer in customers:
+        if customer.node_id not in cache:
+            cache[customer.node_id] = legacy_dijkstra(topology, customer.node_id, weight)
+            searches += 1
+        distances, _ = cache[customer.node_id]
+        best = None
+        best_distance = float("inf")
+        for core in cores:
+            queries += 1
+            d = distances.get(core, float("inf"))
+            if d < best_distance:
+                best_distance = d
+                best = core
+        if best is not None and best_distance < float("inf"):
+            routed += customer.demand
+    return {"searches": searches, "queries": queries, "routed": routed}
+
+
+# ----------------------------------------------------------------------
+# Benchmark body
+# ----------------------------------------------------------------------
+def run_benchmark():
+    topo = build_topology()
+    topo.compiled()  # compile outside the timed regions
+    rows = []
+    results = {
+        "topology": {
+            "generator": "glp",
+            "nodes": topo.num_nodes,
+            "links": topo.num_links,
+            "cores": CORE_COUNT,
+            "seed": SEED,
+        }
+    }
+
+    # --- all-pairs shortest lengths -----------------------------------
+    t_matrix, _ = best_of(lambda: all_pairs_length_matrix(topo))
+    t_dicts, compiled_dicts = best_of(lambda: all_pairs_shortest_lengths(topo))
+    t_legacy, legacy_dicts = best_of(lambda: legacy_all_pairs(topo), repeats=1)
+    assert compiled_dicts == legacy_dicts, "all-pairs results diverge from legacy"
+    results["all_pairs"] = {
+        "legacy_seconds": t_legacy,
+        "compiled_matrix_seconds": t_matrix,
+        "compiled_dict_seconds": t_dicts,
+        "speedup_matrix": t_legacy / t_matrix,
+        "speedup_dict": t_legacy / t_dicts,
+    }
+    rows.append(
+        {
+            "kernel": "all_pairs (matrix API)",
+            "legacy_s": round(t_legacy, 3),
+            "compiled_s": round(t_matrix, 3),
+            "speedup": round(t_legacy / t_matrix, 1),
+        }
+    )
+    rows.append(
+        {
+            "kernel": "all_pairs (dict API)",
+            "legacy_s": round(t_legacy, 3),
+            "compiled_s": round(t_dicts, 3),
+            "speedup": round(t_legacy / t_dicts, 1),
+        }
+    )
+
+    # --- removal traces ------------------------------------------------
+    results["removal_trace"] = {}
+    for strategy in ("random", "targeted"):
+        t_new, trace = best_of(
+            lambda: removal_trace(
+                topo, strategy=strategy, steps=20, max_fraction=0.5, seed=3
+            )
+        )
+        t_old, legacy = best_of(
+            lambda: legacy_removal_trace(
+                topo, strategy, steps=20, max_fraction=0.5, seed=3
+            ),
+            repeats=1,
+        )
+        if strategy == "random":
+            # Same victims, same measurements: traces must agree exactly.
+            assert trace.fractions_removed == legacy[0]
+            assert trace.largest_component_fraction == legacy[1]
+            assert trace.disconnected_demand_fraction == legacy[2]
+        results["removal_trace"][strategy] = {
+            "legacy_seconds": t_old,
+            "compiled_seconds": t_new,
+            "speedup": t_old / t_new,
+        }
+        rows.append(
+            {
+                "kernel": f"removal_trace ({strategy})",
+                "legacy_s": round(t_old, 3),
+                "compiled_s": round(t_new, 3),
+                "speedup": round(t_old / t_new, 1),
+            }
+        )
+
+    # --- customer→core routing: search counts --------------------------
+    legacy_routing = legacy_route_customer_demand_to_core(topo)
+    KERNEL_COUNTERS.reset()
+    t_route, result = best_of(lambda: route_customer_demand_to_core(topo))
+    multi = KERNEL_COUNTERS.multi_source
+    single = KERNEL_COUNTERS.single_source
+    assert multi == REPEATS and single == 0, (
+        f"expected 1 multi-source search per run and no single-source runs, "
+        f"got multi={multi} single={single} over {REPEATS} runs"
+    )
+    assert result.routed_volume == legacy_routing["routed"]
+    t_route_legacy, _ = best_of(
+        lambda: legacy_route_customer_demand_to_core(topo), repeats=1
+    )
+    results["route_customer_demand_to_core"] = {
+        "customers": topo.num_nodes - CORE_COUNT,
+        "cores": CORE_COUNT,
+        "legacy_single_source_searches": legacy_routing["searches"],
+        "legacy_distance_queries": legacy_routing["queries"],
+        "compiled_multi_source_searches_per_run": multi // REPEATS,
+        "compiled_single_source_searches_per_run": single,
+        "legacy_seconds": t_route_legacy,
+        "compiled_seconds": t_route,
+        "speedup": t_route_legacy / t_route,
+    }
+    rows.append(
+        {
+            "kernel": "route_customer_demand_to_core",
+            "legacy_s": round(t_route_legacy, 3),
+            "compiled_s": round(t_route, 3),
+            "speedup": round(t_route_legacy / t_route, 1),
+        }
+    )
+
+    return results, rows
+
+
+def check_acceptance(results):
+    assert results["all_pairs"]["speedup_matrix"] >= 5.0, results["all_pairs"]
+    for strategy in ("random", "targeted"):
+        assert results["removal_trace"][strategy]["speedup"] >= 5.0, results[
+            "removal_trace"
+        ]
+    routing = results["route_customer_demand_to_core"]
+    assert routing["compiled_multi_source_searches_per_run"] == 1
+    assert routing["compiled_single_source_searches_per_run"] == 0
+    assert routing["legacy_distance_queries"] == routing["customers"] * routing["cores"]
+
+
+def test_compiled_graph_backend():
+    results, rows = run_benchmark()
+    check_acceptance(results)
+    JSON_PATH.write_text(json.dumps(results, indent=2) + "\n")
+    emit_rows(
+        "E-compiled",
+        "compiled CSR kernels vs legacy object-graph kernels (1000-node GLP)",
+        rows,
+        slug="compiled_graph",
+    )
+
+
+if __name__ == "__main__":
+    test_compiled_graph_backend()
+    print(f"\nwrote {JSON_PATH}")

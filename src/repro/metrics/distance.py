@@ -1,13 +1,19 @@
-"""Path-length metrics: average shortest path, diameter, eccentricity, stretch."""
+"""Path-length metrics: average shortest path, diameter, eccentricity, stretch.
+
+All metrics run on the topology's compiled CSR view: the graph is compiled
+once per call (reusing the version-keyed cache) and the BFS/Dijkstra array
+kernels loop over int indices instead of building per-source dictionaries.
+"""
 
 from __future__ import annotations
 
 import random
+from math import inf
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..geography.points import euclidean
+from ..topology.compiled import bfs_indices, dijkstra_indices
 from ..topology.graph import Topology
-from ..optimization.shortest_path import dijkstra
 
 
 def average_shortest_path_hops(
@@ -29,13 +35,14 @@ def average_shortest_path_hops(
         sources = rng.sample(node_ids, sample_size)
     else:
         sources = node_ids
+    graph = topology.compiled()
     total = 0.0
     count = 0
     for source in sources:
-        for target, hops in topology.hop_distances(source).items():
-            if target != source:
-                total += hops
-                count += 1
+        dist, order = bfs_indices(graph, graph.index_of[source])
+        for i in order:
+            total += dist[i]
+        count += len(order) - 1  # exclude the source itself
     return total / count if count else 0.0
 
 
@@ -49,11 +56,13 @@ def hop_diameter(topology: Topology, sample_size: Optional[int] = None, seed: in
         sources = rng.sample(node_ids, sample_size)
     else:
         sources = node_ids
+    graph = topology.compiled()
     diameter = 0
     for source in sources:
-        distances = topology.hop_distances(source)
-        if distances:
-            diameter = max(diameter, max(distances.values()))
+        dist, order = bfs_indices(graph, graph.index_of[source])
+        # BFS discovers nodes in non-decreasing distance order.
+        if order:
+            diameter = max(diameter, dist[order[-1]])
     return diameter
 
 
@@ -67,20 +76,24 @@ def weighted_diameter(topology: Topology, sample_size: Optional[int] = None, see
         sources = rng.sample(node_ids, sample_size)
     else:
         sources = node_ids
+    graph = topology.compiled()
+    weights = graph.edge_weights()
     diameter = 0.0
     for source in sources:
-        distances, _ = dijkstra(topology, source)
-        if distances:
-            diameter = max(diameter, max(distances.values()))
+        dist, _, _ = dijkstra_indices(graph, graph.index_of[source], weights)
+        for d in dist:
+            if d != inf and d > diameter:
+                diameter = d
     return diameter
 
 
 def eccentricity_distribution(topology: Topology) -> Dict[Any, int]:
     """Hop eccentricity of every node (max hop distance to any reachable node)."""
+    graph = topology.compiled()
     result = {}
-    for node_id in topology.node_ids():
-        distances = topology.hop_distances(node_id)
-        result[node_id] = max(distances.values()) if distances else 0
+    for index, node_id in enumerate(graph.ids):
+        dist, order = bfs_indices(graph, index)
+        result[node_id] = dist[order[-1]] if order else 0
     return result
 
 
@@ -108,6 +121,9 @@ def geographic_stretch(
         for _ in range(sample_size):
             u, v = rng.sample(node_ids, 2)
             pairs.append((u, v))
+    graph = topology.compiled()
+    weights = graph.edge_weights()
+    distance_cache: Dict[int, Any] = {}
     ratios = []
     for u, v in pairs:
         loc_u = topology.node(u).location
@@ -117,10 +133,15 @@ def geographic_stretch(
         direct = euclidean(loc_u, loc_v)
         if direct <= 0:
             continue
-        distances, _ = dijkstra(topology, u)
-        if v not in distances:
+        source_index = graph.index_of[u]
+        dist = distance_cache.get(source_index)
+        if dist is None:
+            dist, _, _ = dijkstra_indices(graph, source_index, weights)
+            distance_cache[source_index] = dist
+        d = dist[graph.index_of[v]]
+        if d == inf:
             continue
-        ratios.append(distances[v] / direct)
+        ratios.append(d / direct)
     if not ratios:
         return float("nan")
     return sum(ratios) / len(ratios)

@@ -12,7 +12,8 @@ from __future__ import annotations
 import random
 from typing import Dict, List, Optional
 
-from ..topology.graph import Topology
+from ..topology.compiled import bfs_indices
+from ..topology.graph import Topology, TopologyError
 
 
 def ball_sizes(topology: Topology, source, max_hops: Optional[int] = None) -> Dict[int, int]:
@@ -20,13 +21,24 @@ def ball_sizes(topology: Topology, source, max_hops: Optional[int] = None) -> Di
 
     Returns a mapping ``h -> |ball(source, h)|`` including ``h = 0`` (just the
     source) up to the node's eccentricity or ``max_hops``.
+
+    Runs a single array BFS on the compiled view and accumulates a hop
+    histogram, instead of re-scanning a distance dictionary per radius.
     """
-    distances = topology.hop_distances(source)
-    eccentricity = max(distances.values()) if distances else 0
+    graph = topology.compiled()
+    if source not in graph.index_of:
+        raise TopologyError(f"node {source!r} is not in the topology")
+    dist, order = bfs_indices(graph, graph.index_of[source])
+    eccentricity = dist[order[-1]] if order else 0
     limit = eccentricity if max_hops is None else min(max_hops, eccentricity)
+    per_hop = [0] * (eccentricity + 1)
+    for i in order:
+        per_hop[dist[i]] += 1
     sizes = {}
+    running = 0
     for h in range(limit + 1):
-        sizes[h] = sum(1 for d in distances.values() if d <= h)
+        running += per_hop[h]
+        sizes[h] = running
     return sizes
 
 

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, List
 
+from ..topology.compiled import bfs_indices
 from ..topology.graph import Topology
 from ..topology.hierarchy import HierarchySummary, summarize_hierarchy
 from ..topology.node import NodeRole
@@ -22,11 +23,13 @@ def degree_assortativity(topology: Topology) -> float:
     Hierarchical, hub-and-spoke topologies are disassortative (negative);
     random graphs are near zero.  Returns ``nan`` for degenerate cases.
     """
+    graph = topology.compiled()
+    degrees = graph.degrees()
     xs: List[float] = []
     ys: List[float] = []
-    for link in topology.links():
-        du = topology.degree(link.source)
-        dv = topology.degree(link.target)
+    for e in range(graph.num_edges):
+        du = degrees[graph.edge_u[e]]
+        dv = degrees[graph.edge_v[e]]
         # Count each link in both orientations so the measure is symmetric.
         xs.extend([du, dv])
         ys.extend([dv, du])
@@ -50,15 +53,20 @@ def rich_club_coefficient(topology: Topology, degree_threshold: int) -> float:
     present in measured router graphs and in backbone designs, absent in pure
     trees.
     """
-    rich = [n for n in topology.node_ids() if topology.degree(n) > degree_threshold]
-    k = len(rich)
+    graph = topology.compiled()
+    degrees = graph.degrees()
+    rich = bytearray(graph.num_nodes)
+    k = 0
+    for i in range(graph.num_nodes):
+        if degrees[i] > degree_threshold:
+            rich[i] = 1
+            k += 1
     if k < 2:
         return 0.0
-    rich_set = set(rich)
     links = sum(
         1
-        for link in topology.links()
-        if link.source in rich_set and link.target in rich_set
+        for e in range(graph.num_edges)
+        if rich[graph.edge_u[e]] and rich[graph.edge_v[e]]
     )
     return 2.0 * links / (k * (k - 1))
 
@@ -74,13 +82,21 @@ def core_periphery_ratio(topology: Topology, core_fraction: float = 0.1) -> floa
         raise ValueError("core_fraction must be in (0, 1]")
     if topology.num_links == 0:
         return 0.0
-    node_ids = sorted(topology.node_ids(), key=topology.degree, reverse=True)
-    core_size = max(1, int(round(core_fraction * len(node_ids))))
-    core = set(node_ids[:core_size])
+    graph = topology.compiled()
+    degrees = graph.degrees()
+    # Stable sort keeps insertion order among equal degrees, matching the
+    # object-graph implementation.
+    ranked = sorted(range(graph.num_nodes), key=degrees.__getitem__, reverse=True)
+    core_size = max(1, int(round(core_fraction * graph.num_nodes)))
+    core = bytearray(graph.num_nodes)
+    for i in ranked[:core_size]:
+        core[i] = 1
     touching = sum(
-        1 for link in topology.links() if link.source in core or link.target in core
+        1
+        for e in range(graph.num_edges)
+        if core[graph.edge_u[e]] or core[graph.edge_v[e]]
     )
-    return touching / topology.num_links
+    return touching / graph.num_edges
 
 
 def hierarchy_depth(topology: Topology) -> int:
@@ -92,9 +108,11 @@ def hierarchy_depth(topology: Topology) -> int:
     """
     if topology.num_nodes == 0:
         return 0
-    hub = topology.max_degree_node()
-    distances = topology.hop_distances(hub)
-    return max(distances.values()) if distances else 0
+    graph = topology.compiled()
+    degrees = graph.degrees()
+    hub = max(range(graph.num_nodes), key=degrees.__getitem__)
+    dist, order = bfs_indices(graph, hub)
+    return dist[order[-1]] if order else 0
 
 
 def role_hierarchy_summary(topology: Topology) -> HierarchySummary:

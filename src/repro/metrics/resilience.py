@@ -16,6 +16,11 @@ import random
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
+from ..topology.compiled import (
+    CompiledGraph,
+    components_indices,
+    multi_source_bfs_indices,
+)
 from ..topology.graph import Topology
 from ..topology.node import NodeRole
 
@@ -50,28 +55,37 @@ class RemovalTrace:
         return sum(self.largest_component_fraction) / len(self.largest_component_fraction)
 
 
-def _largest_component_fraction(topology: Topology, original_size: int) -> float:
-    if topology.num_nodes == 0 or original_size == 0:
+def _largest_component_fraction(
+    graph: CompiledGraph, alive: bytearray, original_size: int
+) -> float:
+    if original_size == 0:
         return 0.0
-    components = topology.connected_components()
-    if not components:
+    labels, count = components_indices(graph, alive)
+    if count == 0:
         return 0.0
-    return max(len(c) for c in components) / original_size
+    sizes = [0] * count
+    for label in labels:
+        if label != -1:
+            sizes[label] += 1
+    return max(sizes) / original_size
 
 
-def _disconnected_demand_fraction(topology: Topology, total_demand: float) -> float:
+def _disconnected_demand_fraction(
+    graph: CompiledGraph,
+    alive: bytearray,
+    core_indices: List[int],
+    customer_indices: List[int],
+    demands: List[float],
+    total_demand: float,
+) -> float:
     if total_demand <= 0:
         return 0.0
-    cores = [n.node_id for n in topology.nodes() if n.role == NodeRole.CORE]
-    if not cores:
+    alive_cores = [c for c in core_indices if alive[c]]
+    if not alive_cores:
         return 0.0
-    reachable = set()
-    for core in cores:
-        reachable.update(topology.bfs_order(core))
+    dist = multi_source_bfs_indices(graph, alive_cores, alive)
     connected_demand = sum(
-        node.demand
-        for node in topology.nodes()
-        if node.role == NodeRole.CUSTOMER and node.node_id in reachable
+        demands[i] for i in customer_indices if alive[i] and dist[i] != -1
     )
     return 1.0 - connected_demand / total_demand
 
@@ -87,9 +101,11 @@ def removal_trace(
     """Remove nodes progressively and track connectivity.
 
     Args:
-        topology: Input topology (not modified; a copy is degraded).
+        topology: Input topology (not modified; removal runs on an index mask
+            over the compiled view instead of degrading a copy step by step).
         strategy: ``"random"`` removes uniformly chosen nodes; ``"targeted"``
-            removes in decreasing order of (current) degree.
+            removes in decreasing order of (current) degree, breaking ties in
+            node insertion order.
         steps: Number of measurement points along the removal trajectory.
         max_fraction: Largest fraction of nodes to remove.
         seed: Random seed for the random strategy.
@@ -103,53 +119,92 @@ def removal_trace(
     if not 0 < max_fraction <= 1:
         raise ValueError("max_fraction must be in (0, 1]")
 
-    working = topology.copy()
-    original_size = topology.num_nodes
-    total_demand = sum(
-        node.demand for node in topology.nodes() if node.role == NodeRole.CUSTOMER
-    )
+    graph = topology.compiled()
+    original_size = graph.num_nodes
+    index_of = graph.index_of
+    core_indices: List[int] = []
+    customer_indices: List[int] = []
+    demands = [0.0] * original_size
+    total_demand = 0.0
+    for node in topology.nodes():
+        index = index_of[node.node_id]
+        if node.role == NodeRole.CORE:
+            core_indices.append(index)
+        elif node.role == NodeRole.CUSTOMER:
+            customer_indices.append(index)
+            demands[index] = node.demand
+            total_demand += node.demand
     rng = random.Random(seed)
     protected = set(protect_roles)
 
     removable = [
-        node.node_id for node in topology.nodes() if node.role not in protected
+        index_of[node.node_id]
+        for node in topology.nodes()
+        if node.role not in protected
     ]
     total_to_remove = int(max_fraction * original_size)
     total_to_remove = min(total_to_remove, len(removable))
     per_step = max(1, total_to_remove // steps)
 
-    fractions = [0.0]
-    largest = [_largest_component_fraction(working, original_size)]
-    demand_loss = [_disconnected_demand_fraction(working, total_demand)]
+    alive = graph.full_mask()
+    degrees = graph.degrees()
+    indptr = graph.indptr
+    indices = graph.indices
+
+    fractions: List[float] = []
+    largest: List[float] = []
+    demand_loss: List[float] = []
     removed = 0
+
+    def measure() -> None:
+        fractions.append(removed / original_size if original_size else 0.0)
+        largest.append(_largest_component_fraction(graph, alive, original_size))
+        demand_loss.append(
+            _disconnected_demand_fraction(
+                graph, alive, core_indices, customer_indices, demands, total_demand
+            )
+        )
+
+    measure()  # the t=0 point, before any removal
 
     if strategy == "random":
         rng.shuffle(removable)
+    else:
+        removable_set = set(removable)
     while removed < total_to_remove:
         batch = min(per_step, total_to_remove - removed)
         for _ in range(batch):
             if strategy == "targeted":
-                candidates = [n for n in working.node_ids() if n in set(removable)]
-                if not candidates:
+                victim = -1
+                best_degree = -1
+                for candidate in removable_set:
+                    if degrees[candidate] > best_degree or (
+                        degrees[candidate] == best_degree and candidate < victim
+                    ):
+                        victim = candidate
+                        best_degree = degrees[candidate]
+                if victim == -1:
                     break
-                victim = max(candidates, key=working.degree)
-                removable.remove(victim)
+                removable_set.discard(victim)
             else:
-                victim = None
+                victim = -1
                 while removable:
                     candidate = removable.pop()
-                    if working.has_node(candidate):
+                    if alive[candidate]:
                         victim = candidate
                         break
-                if victim is None:
+                if victim == -1:
                     break
-            if working.has_node(victim):
-                working.remove_node(victim)
+            if alive[victim]:
+                alive[victim] = 0
+                for k in range(indptr[victim], indptr[victim + 1]):
+                    neighbor = indices[k]
+                    if alive[neighbor]:
+                        degrees[neighbor] -= 1
                 removed += 1
-        fractions.append(removed / original_size)
-        largest.append(_largest_component_fraction(working, original_size))
-        demand_loss.append(_disconnected_demand_fraction(working, total_demand))
-        if removed >= len(removable) + removed:
+        measure()
+        remaining = len(removable_set) if strategy == "targeted" else len(removable)
+        if remaining == 0:
             break
     return RemovalTrace(
         strategy=strategy,

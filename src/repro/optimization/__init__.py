@@ -10,10 +10,12 @@ from .mst import (
     prim_mst_topology_from_points,
 )
 from .shortest_path import (
+    all_pairs_length_matrix,
     all_pairs_shortest_lengths,
     dijkstra,
     eccentricity,
     hop_count_paths,
+    multi_source_dijkstra,
     path_length,
     reconstruct_path,
     shortest_path,
@@ -53,10 +55,12 @@ __all__ = [
     "minimum_spanning_tree",
     "prim_mst_points",
     "prim_mst_topology_from_points",
+    "all_pairs_length_matrix",
     "all_pairs_shortest_lengths",
     "dijkstra",
     "eccentricity",
     "hop_count_paths",
+    "multi_source_dijkstra",
     "path_length",
     "reconstruct_path",
     "shortest_path",

@@ -1,12 +1,28 @@
-"""Shortest paths over annotated topologies (Dijkstra and BFS variants)."""
+"""Shortest paths over annotated topologies (Dijkstra and BFS variants).
+
+All functions accept node ids and a :class:`Topology` but execute on the
+topology's compiled CSR view (:mod:`repro.topology.compiled`): each call
+compiles on entry via ``topology.compiled()`` — a cached snapshot reused as
+long as ``Topology.version`` is unchanged — and translates ids to int indices
+only at the boundary.
+"""
 
 from __future__ import annotations
 
-import heapq
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from math import inf
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
-from ..topology.graph import Topology
+from ..topology.compiled import (
+    batch_shortest_lengths,
+    default_link_weight,
+    dijkstra_indices,
+    multi_source_dijkstra_indices,
+)
+from ..topology.graph import Topology, TopologyError
 from ..topology.link import Link
+
+#: Default link weight (alias of the library-wide definition).
+_default_weight = default_link_weight
 
 
 def dijkstra(
@@ -29,37 +45,68 @@ def dijkstra(
 
     Raises:
         ValueError: if any link weight is negative.
+        TopologyError: if the source node does not exist.
     """
-    if weight is None:
-        weight = _default_weight
-    distances: Dict[Any, float] = {source: 0.0}
+    graph = topology.compiled()
+    if source not in graph.index_of:
+        raise TopologyError(f"node {source!r} is not in the topology")
+    weights = graph.edge_weights(weight)
+    dist, pred, _ = dijkstra_indices(graph, graph.index_of[source], weights)
+    ids = graph.ids
+    distances: Dict[Any, float] = {}
     predecessors: Dict[Any, Any] = {}
-    visited = set()
-    counter = 0
-    heap: List[Tuple[float, int, Any]] = [(0.0, counter, source)]
-    while heap:
-        distance, _, current = heapq.heappop(heap)
-        if current in visited:
-            continue
-        visited.add(current)
-        for link in topology.incident_links(current):
-            neighbor = link.other_end(current)
-            if neighbor in visited:
-                continue
-            w = weight(link)
-            if w < 0:
-                raise ValueError(f"negative link weight {w} on {link.key}")
-            candidate = distance + w
-            if candidate < distances.get(neighbor, float("inf")):
-                distances[neighbor] = candidate
-                predecessors[neighbor] = current
-                counter += 1
-                heapq.heappush(heap, (candidate, counter, neighbor))
+    for i in range(graph.num_nodes):
+        d = dist[i]
+        if d != inf:
+            distances[ids[i]] = d
+            p = pred[i]
+            if p >= 0:
+                predecessors[ids[i]] = ids[p]
     return distances, predecessors
 
 
-def _default_weight(link: Link) -> float:
-    return link.length if link.length > 0 else 1.0
+def multi_source_dijkstra(
+    topology: Topology,
+    sources: Iterable[Any],
+    weight: Optional[Callable[[Link], float]] = None,
+) -> Tuple[Dict[Any, float], Dict[Any, Any], Dict[Any, Any]]:
+    """Shortest paths from the *nearest* of several sources, in one search.
+
+    Replaces ``len(sources)`` independent Dijkstra runs with a single sweep:
+    every source starts at distance zero and the searches grow together.
+
+    Returns:
+        ``(distances, predecessors, nearest_source)``: for each reachable
+        node, the distance to its nearest source, its predecessor on that
+        path (sources have none), and which source it is attached to.
+        For strictly positive weights, exact distance ties are resolved
+        toward sources earlier in ``sources``.
+
+    Raises:
+        ValueError: if any link weight is negative.
+        TopologyError: if any source node does not exist.
+    """
+    graph = topology.compiled()
+    source_indices: List[int] = []
+    for source in sources:
+        if source not in graph.index_of:
+            raise TopologyError(f"node {source!r} is not in the topology")
+        source_indices.append(graph.index_of[source])
+    weights = graph.edge_weights(weight)
+    dist, pred, _, origin = multi_source_dijkstra_indices(graph, source_indices, weights)
+    ids = graph.ids
+    distances: Dict[Any, float] = {}
+    predecessors: Dict[Any, Any] = {}
+    nearest: Dict[Any, Any] = {}
+    for i in range(graph.num_nodes):
+        d = dist[i]
+        if d != inf:
+            distances[ids[i]] = d
+            nearest[ids[i]] = ids[origin[i]]
+            p = pred[i]
+            if p >= 0:
+                predecessors[ids[i]] = ids[p]
+    return distances, predecessors, nearest
 
 
 def shortest_path(
@@ -101,17 +148,50 @@ def path_length(
     return total
 
 
+def all_pairs_length_matrix(
+    topology: Topology,
+    weight: Optional[Callable[[Link], float]] = None,
+    sources: Optional[List[Any]] = None,
+) -> Tuple[List[Any], List[Any], List[List[float]]]:
+    """Shortest-path length rows from every source (or a subset), as arrays.
+
+    The array-native sibling of :func:`all_pairs_shortest_lengths` for bulk
+    consumers (metrics, benchmarks): no per-pair dictionaries are built.
+
+    Returns:
+        ``(sources, columns, rows)`` where ``rows[i][j]`` is the distance
+        from ``sources[i]`` to ``columns[j]`` (``inf`` when unreachable) and
+        ``columns`` lists every node id in index order.
+    """
+    graph = topology.compiled()
+    source_list = list(sources) if sources is not None else list(graph.ids)
+    source_indices: List[int] = []
+    for source in source_list:
+        if source not in graph.index_of:
+            raise TopologyError(f"node {source!r} is not in the topology")
+        source_indices.append(graph.index_of[source])
+    weights = graph.edge_weights(weight)
+    rows = batch_shortest_lengths(graph, source_indices, weights)
+    return source_list, list(graph.ids), rows
+
+
 def all_pairs_shortest_lengths(
     topology: Topology,
     weight: Optional[Callable[[Link], float]] = None,
     sources: Optional[List[Any]] = None,
 ) -> Dict[Any, Dict[Any, float]]:
-    """Shortest-path lengths from every source (or a subset) to all nodes."""
-    sources = list(sources) if sources is not None else list(topology.node_ids())
-    result = {}
-    for source in sources:
-        distances, _ = dijkstra(topology, source, weight)
-        result[source] = distances
+    """Shortest-path lengths from every source (or a subset) to all nodes.
+
+    The topology is compiled once and the weight column computed once; each
+    source then runs the array kernel directly.
+    """
+    source_list, ids, rows = all_pairs_length_matrix(topology, weight, sources)
+    result: Dict[Any, Dict[Any, float]] = {}
+    for source, row in zip(source_list, rows):
+        if inf in row:
+            result[source] = {ids[i]: d for i, d in enumerate(row) if d != inf}
+        else:
+            result[source] = dict(zip(ids, row))
     return result
 
 
@@ -124,5 +204,13 @@ def eccentricity(
     topology: Topology, node: Any, weight: Optional[Callable[[Link], float]] = None
 ) -> float:
     """Greatest shortest-path distance from ``node`` to any reachable node."""
-    distances, _ = dijkstra(topology, node, weight)
-    return max(distances.values()) if distances else 0.0
+    graph = topology.compiled()
+    if node not in graph.index_of:
+        raise TopologyError(f"node {node!r} is not in the topology")
+    weights = graph.edge_weights(weight)
+    dist, _, _ = dijkstra_indices(graph, graph.index_of[node], weights)
+    best = 0.0
+    for d in dist:
+        if d != inf and d > best:
+            best = d
+    return best

@@ -2,6 +2,7 @@
 
 from .paths import (
     PathCache,
+    RoutedPath,
     WEIGHT_FUNCTIONS,
     k_shortest_node_disjoint_paths,
     resolve_weight,
@@ -21,6 +22,7 @@ from .utilization import (
 
 __all__ = [
     "PathCache",
+    "RoutedPath",
     "WEIGHT_FUNCTIONS",
     "k_shortest_node_disjoint_paths",
     "resolve_weight",

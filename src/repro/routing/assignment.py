@@ -3,9 +3,11 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from math import inf
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..geography.demand import DemandMatrix
+from ..topology.compiled import multi_source_dijkstra_indices
 from ..topology.graph import Topology
 from .paths import PathCache, resolve_weight
 
@@ -60,21 +62,23 @@ def assign_demand(
             link.load = 0.0
 
     result = AssignmentResult()
+    link_loads = result.link_loads
     for a, b, volume in demand.pairs():
         node_a = endpoint_map.get(a, a)
         node_b = endpoint_map.get(b, b)
         if not (topology.has_node(node_a) and topology.has_node(node_b)):
             result.unrouted_pairs.append((a, b, volume))
             continue
-        path = cache.path(node_a, node_b)
-        if path is None:
+        routed = cache.route(node_a, node_b)
+        if routed is None:
             result.unrouted_pairs.append((a, b, volume))
             continue
-        for u, v in zip(path, path[1:]):
-            link = topology.link(u, v)
+        # Link objects come resolved from the predecessor tree: one pass per
+        # path instead of a repr-keyed topology.link(u, v) lookup per hop.
+        for link, key in zip(routed.links, routed.keys):
             link.load += volume
-            result.link_loads[link.key] = result.link_loads.get(link.key, 0.0) + volume
-        result.paths[(a, b)] = path
+            link_loads[key] = link_loads.get(key, 0.0) + volume
+        result.paths[(a, b)] = routed.nodes
         result.routed_volume += volume
     return result
 
@@ -86,6 +90,9 @@ def route_customer_demand_to_core(
 
     This is the access-traffic pattern of the paper's formulations: customers
     send/receive through the ISP core rather than to each other directly.
+    Implemented as a *single* multi-source Dijkstra growing from all cores at
+    once (ties go to the core listed first), instead of one single-source
+    search per (customer, core) pair.
     """
     from ..topology.node import NodeRole
 
@@ -101,26 +108,36 @@ def route_customer_demand_to_core(
         ]
         return result
 
-    cache = PathCache(topology, resolve_weight(weight))
+    graph = topology.compiled()
+    weights = graph.edge_weights(resolve_weight(weight))
+    core_indices = [graph.index_of[core] for core in cores]
+    dist, pred, pred_edge, origin = multi_source_dijkstra_indices(
+        graph, core_indices, weights
+    )
+    ids = graph.ids
+    edge_keys = graph.edge_keys
+    edge_links = graph.links
+    link_loads = result.link_loads
     for customer in customers:
-        best_core = None
-        best_distance = float("inf")
-        for core in cores:
-            distance = cache.distance(customer.node_id, core)
-            if distance < best_distance:
-                best_distance = distance
-                best_core = core
-        if best_core is None or best_distance == float("inf"):
-            result.unrouted_pairs.append((str(customer.node_id), "<unreachable>", customer.demand))
+        customer_index = graph.index_of[customer.node_id]
+        if dist[customer_index] == inf:
+            result.unrouted_pairs.append(
+                (str(customer.node_id), "<unreachable>", customer.demand)
+            )
             continue
-        path = cache.path(customer.node_id, best_core)
-        if path is None:
-            result.unrouted_pairs.append((str(customer.node_id), str(best_core), customer.demand))
-            continue
-        for u, v in zip(path, path[1:]):
-            link = topology.link(u, v)
-            link.load += customer.demand
-            result.link_loads[link.key] = result.link_loads.get(link.key, 0.0) + customer.demand
+        # The predecessor tree is rooted at the cores, so walking it from the
+        # customer yields the customer→core path directly, links included.
+        path = [customer.node_id]
+        current = customer_index
+        volume = customer.demand
+        while pred[current] != -1:
+            edge = pred_edge[current]
+            edge_links[edge].load += volume
+            key = edge_keys[edge]
+            link_loads[key] = link_loads.get(key, 0.0) + volume
+            current = pred[current]
+            path.append(ids[current])
+        best_core = ids[origin[customer_index]]
         result.paths[(str(customer.node_id), str(best_core))] = path
-        result.routed_volume += customer.demand
+        result.routed_volume += volume
     return result

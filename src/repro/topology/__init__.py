@@ -9,6 +9,7 @@ Public API:
 * serialization helpers (``topology_to_dict``, ``save_json``, ``to_networkx``, ...).
 """
 
+from .compiled import CompiledGraph, KERNEL_COUNTERS, KernelCounters
 from .graph import Topology, TopologyError, union
 from .link import Link, edge_key
 from .node import Node, NodeRole, ROLE_RANK
@@ -33,6 +34,9 @@ from .serialization import (
 )
 
 __all__ = [
+    "CompiledGraph",
+    "KernelCounters",
+    "KERNEL_COUNTERS",
     "Topology",
     "TopologyError",
     "union",

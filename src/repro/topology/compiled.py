@@ -1,0 +1,558 @@
+"""Compiled CSR view of a :class:`Topology` for analysis kernels.
+
+The annotated object graph (:class:`repro.topology.graph.Topology`) is the
+mutable source of truth: nodes and links are rich Python objects carrying
+roles, locations, capacities, and costs.  That representation is ideal for
+construction and annotation but slow for the evaluation loop that dominates
+every experiment — repeated shortest paths, demand assignment, and robustness
+traces walk it one ``Link`` object at a time.
+
+:class:`CompiledGraph` snapshots a topology into flat, int-indexed CSR arrays
+(``indptr``/``indices`` plus per-edge weight columns) that the kernels in this
+module run against.  The contract between the two layers:
+
+* ``Topology.version`` is a monotonically increasing counter bumped by every
+  structural mutation (node/link addition or removal).
+* ``Topology.compiled()`` returns a cached :class:`CompiledGraph` and rebuilds
+  it only when ``version`` changed since the last build.
+* Kernels accept and return **int node indices**; public APIs in the
+  optimization/routing/metrics layers translate ids at the boundary.
+* Link *annotation* mutations (e.g. ``link.load``) do not bump the version;
+  weight columns are recomputed from the live ``Link`` objects on each
+  ``edge_weights`` call, so each public kernel entry sees current annotations.
+  Code that mutates annotations and holds a long-lived weight array (such as
+  ``PathCache``) can force a rebuild with ``Topology.touch()``.
+
+All kernels take an optional ``mask`` (a ``bytearray`` with one truthy byte
+per *active* node index), which is how removal traces degrade a topology
+without copying it: flip bytes off instead of deleting nodes.
+"""
+
+from __future__ import annotations
+
+import heapq
+from array import array
+from math import inf
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .link import Link
+
+try:  # Optional accelerated batch kernels; the pure-Python path is canonical.
+    import numpy as _np
+    from scipy.sparse import csr_matrix as _csr_matrix
+    from scipy.sparse.csgraph import dijkstra as _scipy_dijkstra
+
+    _HAVE_SCIPY = True
+except ImportError:  # pragma: no cover - exercised only without scipy installed
+    _np = None
+    _csr_matrix = None
+    _scipy_dijkstra = None
+    _HAVE_SCIPY = False
+
+__all__ = [
+    "CompiledGraph",
+    "KernelCounters",
+    "KERNEL_COUNTERS",
+    "default_link_weight",
+    "dijkstra_indices",
+    "multi_source_dijkstra_indices",
+    "batch_shortest_lengths",
+    "bfs_indices",
+    "multi_source_bfs_indices",
+    "components_indices",
+]
+
+
+class KernelCounters:
+    """Invocation counters for the compiled kernels (benchmark instrumentation).
+
+    The counters make algorithmic claims checkable: e.g. the benchmark suite
+    asserts that routing all customer demand to cores performs exactly one
+    multi-source search instead of ``customers x cores`` single-source runs.
+    """
+
+    __slots__ = ("single_source", "multi_source", "bfs", "components", "compilations")
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.single_source = 0
+        self.multi_source = 0
+        self.bfs = 0
+        self.components = 0
+        self.compilations = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        """Return the current counts as a plain dictionary."""
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def __repr__(self) -> str:
+        counts = ", ".join(f"{k}={v}" for k, v in self.snapshot().items())
+        return f"KernelCounters({counts})"
+
+
+#: Process-wide kernel invocation counters (reset freely in benchmarks/tests).
+KERNEL_COUNTERS = KernelCounters()
+
+
+def default_link_weight(link: Link) -> float:
+    """The library-wide default link weight: physical length, falling back to
+    1.0 for zero-length links so purely logical graphs get hop-count paths.
+
+    Single source of truth — the optimization and routing layers alias this.
+    """
+    length = link.length
+    return length if length > 0 else 1.0
+
+
+class CompiledGraph:
+    """Immutable int-indexed CSR snapshot of a :class:`Topology`.
+
+    Attributes:
+        version: ``Topology.version`` at build time (cache key).
+        num_nodes: Number of nodes in the snapshot.
+        num_edges: Number of undirected edges in the snapshot.
+        ids: Node id per index (index → id), in node insertion order.
+        index_of: Node index per id (id → index).
+        indptr: CSR row pointers, length ``num_nodes + 1``.
+        indices: Neighbor node index per half-edge, length ``2 * num_edges``.
+            Neighbor order within a row matches adjacency insertion order, so
+            BFS discovery order is identical to the object-graph traversal.
+        half_edge_ids: Undirected edge index per half-edge.
+        edge_u / edge_v: Endpoint node indices per undirected edge.
+        links: The live :class:`Link` object per undirected edge (weight
+            columns are derived from these on demand).
+        edge_keys: Canonical ``(u, v)`` link key per undirected edge.
+    """
+
+    __slots__ = (
+        "version",
+        "num_nodes",
+        "num_edges",
+        "ids",
+        "index_of",
+        "indptr",
+        "indices",
+        "half_edge_ids",
+        "edge_u",
+        "edge_v",
+        "links",
+        "edge_keys",
+        "_adjacency_rows",
+        "_relaxation_cache",
+    )
+
+    def __init__(self, topology: Any) -> None:
+        KERNEL_COUNTERS.compilations += 1
+        self.version: int = topology.version
+        ids: List[Any] = list(topology.node_ids())
+        index_of: Dict[Any, int] = {nid: i for i, nid in enumerate(ids)}
+        links: List[Link] = list(topology.links())
+        edge_keys: List[Tuple[Any, Any]] = list(topology.link_keys())
+        edge_index = {id(link): e for e, link in enumerate(links)}
+
+        n = len(ids)
+        m = len(links)
+        adjacency = topology._adjacency  # same-package structural access
+        indptr = array("q", [0]) * (n + 1)
+        for i, nid in enumerate(ids):
+            indptr[i + 1] = indptr[i] + len(adjacency[nid])
+        indices = array("q", [0]) * (2 * m)
+        half_edge_ids = array("q", [0]) * (2 * m)
+        k = 0
+        for nid in ids:
+            for neighbor, link in adjacency[nid].items():
+                indices[k] = index_of[neighbor]
+                half_edge_ids[k] = edge_index[id(link)]
+                k += 1
+        edge_u = array("q", [0]) * m
+        edge_v = array("q", [0]) * m
+        for e, link in enumerate(links):
+            edge_u[e] = index_of[link.source]
+            edge_v[e] = index_of[link.target]
+
+        self.num_nodes = n
+        self.num_edges = m
+        self.ids = ids
+        self.index_of = index_of
+        self.indptr = indptr
+        self.indices = indices
+        self.half_edge_ids = half_edge_ids
+        self.edge_u = edge_u
+        self.edge_v = edge_v
+        self.links = links
+        self.edge_keys = edge_keys
+        self._adjacency_rows: Optional[List[List[Tuple[int, int]]]] = None
+        self._relaxation_cache: Optional[Tuple[array, List[List[Tuple[float, int, int]]]]] = None
+
+    # ------------------------------------------------------------------
+    # Derived columns
+    # ------------------------------------------------------------------
+    def degree(self, index: int) -> int:
+        """Degree of the node at ``index``."""
+        return self.indptr[index + 1] - self.indptr[index]
+
+    def degrees(self) -> array:
+        """Degree per node index as an int array."""
+        out = array("q", [0]) * self.num_nodes
+        indptr = self.indptr
+        for i in range(self.num_nodes):
+            out[i] = indptr[i + 1] - indptr[i]
+        return out
+
+    def edge_weights(self, weight: Optional[Callable[[Link], float]] = None) -> array:
+        """Per-edge weight column computed from the live :class:`Link` objects.
+
+        ``None`` selects the library default (physical length, falling back to
+        1.0 for zero-length links).  Raises :class:`ValueError` on a negative
+        weight, mirroring the object-graph Dijkstra.
+        """
+        out = array("d", [0.0]) * self.num_edges
+        if weight is None:
+            for e, link in enumerate(self.links):
+                out[e] = default_link_weight(link)
+        else:
+            for e, link in enumerate(self.links):
+                w = weight(link)
+                if w < 0:
+                    raise ValueError(f"negative link weight {w} on {link.key}")
+                out[e] = w
+        return out
+
+    def adjacency_rows(self) -> List[List[Tuple[int, int]]]:
+        """Per-node ``(neighbor, edge)`` tuple rows, built once per snapshot.
+
+        Tuple rows iterate several times faster than CSR range indexing in
+        pure Python; the CSR arrays remain the canonical representation (and
+        the zero-copy input to the optional scipy batch kernels).
+        """
+        rows = self._adjacency_rows
+        if rows is None:
+            indptr = self.indptr
+            indices = self.indices
+            half_edge_ids = self.half_edge_ids
+            rows = [
+                [
+                    (indices[k], half_edge_ids[k])
+                    for k in range(indptr[i], indptr[i + 1])
+                ]
+                for i in range(self.num_nodes)
+            ]
+            self._adjacency_rows = rows
+        return rows
+
+    def relaxation_rows(
+        self, weights: array
+    ) -> List[List[Tuple[float, int, int]]]:
+        """Per-node ``(weight, neighbor, edge)`` rows for Dijkstra relaxation.
+
+        Cached for the most recent ``weights`` object, so a batch of searches
+        sharing one weight column (e.g. all-pairs) builds the rows once.
+        """
+        cached = self._relaxation_cache
+        if cached is not None and cached[0] is weights:
+            return cached[1]
+        rows = [
+            [(weights[e], v, e) for v, e in row] for row in self.adjacency_rows()
+        ]
+        self._relaxation_cache = (weights, rows)
+        return rows
+
+    def scipy_csr(self, weights: array):
+        """The snapshot as a ``scipy.sparse.csr_matrix`` (``None`` w/o scipy).
+
+        Built zero-copy from the CSR arrays via the buffer protocol; used by
+        the optional batch kernels.
+        """
+        if not _HAVE_SCIPY:
+            return None
+        data = _np.asarray(weights, dtype=_np.float64)[
+            _np.asarray(self.half_edge_ids, dtype=_np.int64)
+        ]
+        return _csr_matrix(
+            (
+                data,
+                _np.asarray(self.indices, dtype=_np.int64),
+                _np.asarray(self.indptr, dtype=_np.int64),
+            ),
+            shape=(self.num_nodes, self.num_nodes),
+        )
+
+    def full_mask(self) -> bytearray:
+        """A mask with every node active (for callers that then disable some)."""
+        return bytearray(b"\x01") * self.num_nodes
+
+    def __repr__(self) -> str:
+        return (
+            f"CompiledGraph(nodes={self.num_nodes}, edges={self.num_edges}, "
+            f"version={self.version})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Kernels (int-index world)
+# ----------------------------------------------------------------------
+def dijkstra_indices(
+    graph: CompiledGraph,
+    source: int,
+    weights: array,
+    mask: Optional[bytearray] = None,
+) -> Tuple[List[float], List[int], List[int]]:
+    """Single-source shortest paths over the compiled view.
+
+    Returns ``(dist, pred, pred_edge)`` lists indexed by node index:
+    ``dist`` is ``inf`` for unreachable nodes, ``pred`` is the predecessor
+    node index (-1 for the source and unreachable nodes), and ``pred_edge``
+    is the undirected edge index used to reach each node (-1 likewise).
+    """
+    KERNEL_COUNTERS.single_source += 1
+    n = graph.num_nodes
+    rows = graph.relaxation_rows(weights)
+    dist = [inf] * n
+    pred = [-1] * n
+    pred_edge = [-1] * n
+    dist[source] = 0.0
+    visited = bytearray(n)
+    heap: List[Tuple[float, int]] = [(0.0, source)]
+    push = heapq.heappush
+    pop = heapq.heappop
+    if mask is None:
+        while heap:
+            d, u = pop(heap)
+            if visited[u]:
+                continue
+            visited[u] = 1
+            for w, v, e in rows[u]:
+                if visited[v]:
+                    continue
+                nd = d + w
+                if nd < dist[v]:
+                    dist[v] = nd
+                    pred[v] = u
+                    pred_edge[v] = e
+                    push(heap, (nd, v))
+    else:
+        while heap:
+            d, u = pop(heap)
+            if visited[u]:
+                continue
+            visited[u] = 1
+            for w, v, e in rows[u]:
+                if visited[v] or not mask[v]:
+                    continue
+                nd = d + w
+                if nd < dist[v]:
+                    dist[v] = nd
+                    pred[v] = u
+                    pred_edge[v] = e
+                    push(heap, (nd, v))
+    return dist, pred, pred_edge
+
+
+def multi_source_dijkstra_indices(
+    graph: CompiledGraph,
+    sources: Sequence[int],
+    weights: array,
+    mask: Optional[bytearray] = None,
+) -> Tuple[List[float], List[int], List[int], List[int]]:
+    """Multi-source shortest paths: one search growing from all sources at once.
+
+    Returns ``(dist, pred, pred_edge, origin)`` where ``origin[v]`` is the
+    node index of the source whose shortest-path tree reached ``v`` (-1 for
+    unreachable nodes).  For strictly positive weights, exact distance ties
+    between sources are resolved in favor of the source appearing earlier in
+    ``sources``: every optimal predecessor of a node settles (and relaxes it)
+    before the node itself is settled, so the equal-distance re-attribution
+    below sees all competing origins.
+    """
+    KERNEL_COUNTERS.multi_source += 1
+    n = graph.num_nodes
+    rows = graph.relaxation_rows(weights)
+    dist = [inf] * n
+    pred = [-1] * n
+    pred_edge = [-1] * n
+    origin = [-1] * n
+    rank: Dict[int, int] = {}
+    visited = bytearray(n)
+    heap: List[Tuple[float, int, int]] = []
+    counter = 0
+    for s in sources:
+        if mask is not None and not mask[s]:
+            continue
+        if dist[s] == 0.0 and origin[s] != -1:
+            continue  # duplicate source
+        dist[s] = 0.0
+        origin[s] = s
+        rank[s] = counter
+        heap.append((0.0, counter, s))
+        counter += 1
+    heapq.heapify(heap)
+    push = heapq.heappush
+    pop = heapq.heappop
+    while heap:
+        d, _, u = pop(heap)
+        if visited[u]:
+            continue
+        visited[u] = 1
+        origin_u = origin[u]
+        for w, v, e in rows[u]:
+            if visited[v] or (mask is not None and not mask[v]):
+                continue
+            nd = d + w
+            if nd < dist[v]:
+                dist[v] = nd
+                pred[v] = u
+                pred_edge[v] = e
+                origin[v] = origin_u
+                counter += 1
+                push(heap, (nd, counter, v))
+            elif nd == dist[v] and rank[origin_u] < rank[origin[v]]:
+                # Same distance via an earlier-listed source: re-attribute.
+                pred[v] = u
+                pred_edge[v] = e
+                origin[v] = origin_u
+    return dist, pred, pred_edge, origin
+
+
+def batch_shortest_lengths(
+    graph: CompiledGraph,
+    sources: Sequence[int],
+    weights: array,
+) -> List[List[float]]:
+    """Shortest-path lengths from many sources at once.
+
+    Returns one row of per-node distances (``inf`` when unreachable) per
+    source, in ``sources`` order.  When scipy is available the whole batch is
+    a single vectorized ``csgraph.dijkstra`` call over the zero-copy CSR
+    matrix; otherwise it falls back to the pure-Python kernel per source.
+    The invocation counters record one single-source search per source either
+    way, so algorithm-count assertions stay backend-independent.
+    """
+    KERNEL_COUNTERS.single_source += len(sources)
+    if not sources:
+        return []
+    # Scipy's csgraph is ambiguous about explicit zero-weight edges, so the
+    # vectorized path only engages for strictly positive weight columns.
+    if _HAVE_SCIPY and graph.num_edges > 0 and min(weights) > 0:
+        matrix = graph.scipy_csr(weights)
+        result = _scipy_dijkstra(
+            matrix, directed=False, indices=list(sources), return_predecessors=False
+        )
+        if result.ndim == 1:
+            return [result.tolist()]
+        return [row.tolist() for row in result]
+    rows: List[List[float]] = []
+    for source in sources:
+        dist, _, _ = dijkstra_indices(graph, source, weights)
+        KERNEL_COUNTERS.single_source -= 1  # already counted for the batch
+        rows.append(dist)
+    return rows
+
+
+def bfs_indices(
+    graph: CompiledGraph,
+    source: int,
+    mask: Optional[bytearray] = None,
+) -> Tuple[List[int], List[int]]:
+    """Breadth-first hop distances from one source.
+
+    Returns ``(dist, order)``: ``dist`` holds hop counts (-1 when
+    unreachable) and ``order`` lists reached node indices in discovery order
+    (matching the object-graph BFS, since CSR rows preserve adjacency
+    insertion order).
+    """
+    KERNEL_COUNTERS.bfs += 1
+    rows = graph.adjacency_rows()
+    dist = [-1] * graph.num_nodes
+    dist[source] = 0
+    order = [source]
+    head = 0
+    if mask is None:
+        while head < len(order):
+            u = order[head]
+            head += 1
+            du = dist[u] + 1
+            for v, _ in rows[u]:
+                if dist[v] == -1:
+                    dist[v] = du
+                    order.append(v)
+    else:
+        while head < len(order):
+            u = order[head]
+            head += 1
+            du = dist[u] + 1
+            for v, _ in rows[u]:
+                if dist[v] == -1 and mask[v]:
+                    dist[v] = du
+                    order.append(v)
+    return dist, order
+
+
+def multi_source_bfs_indices(
+    graph: CompiledGraph,
+    sources: Iterable[int],
+    mask: Optional[bytearray] = None,
+) -> List[int]:
+    """Hop distance to the nearest source per node (-1 when unreachable)."""
+    KERNEL_COUNTERS.bfs += 1
+    rows = graph.adjacency_rows()
+    dist = [-1] * graph.num_nodes
+    frontier: List[int] = []
+    for s in sources:
+        if mask is not None and not mask[s]:
+            continue
+        if dist[s] == -1:
+            dist[s] = 0
+            frontier.append(s)
+    head = 0
+    while head < len(frontier):
+        u = frontier[head]
+        head += 1
+        du = dist[u] + 1
+        for v, _ in rows[u]:
+            if dist[v] != -1 or (mask is not None and not mask[v]):
+                continue
+            dist[v] = du
+            frontier.append(v)
+    return dist
+
+
+def components_indices(
+    graph: CompiledGraph,
+    mask: Optional[bytearray] = None,
+) -> Tuple[List[int], int]:
+    """Connected-component labels over active nodes.
+
+    Returns ``(labels, count)``: ``labels[v]`` is a component id in
+    ``0..count-1`` assigned in order of each component's first node index,
+    or -1 for masked-out nodes.
+    """
+    KERNEL_COUNTERS.components += 1
+    n = graph.num_nodes
+    rows = graph.adjacency_rows()
+    labels = [-1] * n
+    count = 0
+    stack: List[int] = []
+    for start in range(n):
+        if labels[start] != -1 or (mask is not None and not mask[start]):
+            continue
+        labels[start] = count
+        stack.append(start)
+        if mask is None:
+            while stack:
+                u = stack.pop()
+                for v, _ in rows[u]:
+                    if labels[v] == -1:
+                        labels[v] = count
+                        stack.append(v)
+        else:
+            while stack:
+                u = stack.pop()
+                for v, _ in rows[u]:
+                    if labels[v] == -1 and mask[v]:
+                        labels[v] = count
+                        stack.append(v)
+        count += 1
+    return labels, count

@@ -14,8 +14,8 @@ interoperability.
 
 from __future__ import annotations
 
-from collections import deque
 from typing import (
+    TYPE_CHECKING,
     Any,
     Dict,
     Iterable,
@@ -29,6 +29,9 @@ from typing import (
 
 from .link import Link, edge_key
 from .node import Node, NodeRole
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations only
+    from .compiled import CompiledGraph
 
 
 class TopologyError(Exception):
@@ -57,6 +60,46 @@ class Topology:
         self._adjacency: Dict[Any, Dict[Any, Link]] = {}
         self._links: Dict[Tuple[Any, Any], Link] = {}
         self.metadata: Dict[str, Any] = {}
+        self._version: int = 0
+        self._compiled: Optional["CompiledGraph"] = None
+
+    # ------------------------------------------------------------------
+    # Compiled view / invalidation
+    # ------------------------------------------------------------------
+    @property
+    def version(self) -> int:
+        """Monotonically increasing structural version.
+
+        Bumped by every mutating method (node/link addition or removal), so
+        caches keyed on it — :meth:`compiled`, ``PathCache`` — know exactly
+        when their snapshot went stale.
+        """
+        return self._version
+
+    def _bump_version(self) -> None:
+        self._version += 1
+        self._compiled = None
+
+    def touch(self) -> None:
+        """Manually bump :attr:`version`.
+
+        Call after mutating link/node *annotations* in place (e.g. lengths or
+        capacities used as routing weights) so long-lived compiled views and
+        path caches rebuild; structural mutations bump automatically.
+        """
+        self._bump_version()
+
+    def compiled(self) -> "CompiledGraph":
+        """Return the CSR view of this topology, rebuilding only when stale.
+
+        The returned :class:`~repro.topology.compiled.CompiledGraph` is cached
+        and shared by all analysis kernels until the next structural mutation.
+        """
+        from .compiled import CompiledGraph
+
+        if self._compiled is None or self._compiled.version != self._version:
+            self._compiled = CompiledGraph(self)
+        return self._compiled
 
     # ------------------------------------------------------------------
     # Node operations
@@ -87,6 +130,7 @@ class Topology:
         )
         self._nodes[node_id] = node
         self._adjacency[node_id] = {}
+        self._bump_version()
         return node
 
     def add_node_object(self, node: Node) -> Node:
@@ -95,6 +139,7 @@ class Topology:
             raise TopologyError(f"node {node.node_id!r} already exists")
         self._nodes[node.node_id] = node
         self._adjacency[node.node_id] = {}
+        self._bump_version()
         return node
 
     def ensure_node(self, node_id: Any, **kwargs: Any) -> Node:
@@ -110,6 +155,7 @@ class Topology:
             self.remove_link(node_id, neighbor)
         del self._adjacency[node_id]
         del self._nodes[node_id]
+        self._bump_version()
 
     def has_node(self, node_id: Any) -> bool:
         """Return True if the node exists."""
@@ -163,7 +209,7 @@ class Topology:
         """
         self._require_node(u)
         self._require_node(v)
-        key = edge_key(u, v)
+        key = self._edge_key(u, v)
         if key in self._links:
             raise TopologyError(f"link {key} already exists")
         for endpoint in (u, v):
@@ -189,6 +235,7 @@ class Topology:
         self._links[key] = link
         self._adjacency[u][v] = link
         self._adjacency[v][u] = link
+        self._bump_version()
         return link
 
     def add_link_object(self, link: Link) -> Link:
@@ -201,16 +248,18 @@ class Topology:
         self._links[key] = link
         self._adjacency[link.source][link.target] = link
         self._adjacency[link.target][link.source] = link
+        self._bump_version()
         return link
 
     def remove_link(self, u: Any, v: Any) -> None:
         """Remove the link between ``u`` and ``v``."""
-        key = edge_key(u, v)
+        key = self._edge_key(u, v)
         if key not in self._links:
             raise TopologyError(f"link {key} does not exist")
         del self._links[key]
         del self._adjacency[u][v]
         del self._adjacency[v][u]
+        self._bump_version()
 
     def has_link(self, u: Any, v: Any) -> bool:
         """Return True if a link between ``u`` and ``v`` exists."""
@@ -220,7 +269,7 @@ class Topology:
 
     def link(self, u: Any, v: Any) -> Link:
         """Return the :class:`Link` between ``u`` and ``v``."""
-        key = edge_key(u, v)
+        key = self._edge_key(u, v)
         if key not in self._links:
             raise TopologyError(f"link {key} does not exist")
         return self._links[key]
@@ -272,40 +321,38 @@ class Topology:
     def bfs_order(self, source: Any) -> List[Any]:
         """Return nodes reachable from ``source`` in BFS order."""
         self._require_node(source)
-        visited = {source}
-        order = [source]
-        queue = deque([source])
-        while queue:
-            current = queue.popleft()
-            for neighbor in self._adjacency[current]:
-                if neighbor not in visited:
-                    visited.add(neighbor)
-                    order.append(neighbor)
-                    queue.append(neighbor)
-        return order
+        from .compiled import bfs_indices
+
+        graph = self.compiled()
+        _, order = bfs_indices(graph, graph.index_of[source])
+        ids = graph.ids
+        return [ids[i] for i in order]
 
     def hop_distances(self, source: Any) -> Dict[Any, int]:
         """Return BFS hop distances from ``source`` to every reachable node."""
         self._require_node(source)
-        distances = {source: 0}
-        queue = deque([source])
-        while queue:
-            current = queue.popleft()
-            for neighbor in self._adjacency[current]:
-                if neighbor not in distances:
-                    distances[neighbor] = distances[current] + 1
-                    queue.append(neighbor)
-        return distances
+        from .compiled import bfs_indices
+
+        graph = self.compiled()
+        dist, order = bfs_indices(graph, graph.index_of[source])
+        ids = graph.ids
+        return {ids[i]: dist[i] for i in order}
 
     def connected_components(self) -> List[Set[Any]]:
-        """Return the connected components as sets of node identifiers."""
-        remaining = set(self._nodes)
-        components: List[Set[Any]] = []
-        while remaining:
-            seed = next(iter(remaining))
-            component = set(self.bfs_order(seed))
-            components.append(component)
-            remaining -= component
+        """Return the connected components as sets of node identifiers.
+
+        Components are ordered by their first node in insertion order.
+        """
+        if not self._nodes:
+            return []
+        from .compiled import components_indices
+
+        graph = self.compiled()
+        labels, count = components_indices(graph)
+        components: List[Set[Any]] = [set() for _ in range(count)]
+        ids = graph.ids
+        for i, label in enumerate(labels):
+            components[label].add(ids[i])
         return components
 
     def is_connected(self) -> bool:
@@ -412,6 +459,14 @@ class Topology:
     def _require_node(self, node_id: Any) -> None:
         if node_id not in self._nodes:
             raise TopologyError(f"node {node_id!r} is not in the topology")
+
+    @staticmethod
+    def _edge_key(u: Any, v: Any) -> Tuple[Any, Any]:
+        """Canonical edge key, normalizing self-loop errors to TopologyError."""
+        try:
+            return edge_key(u, v)
+        except ValueError as exc:
+            raise TopologyError(str(exc)) from exc
 
     def _euclidean_length(self, u: Any, v: Any) -> float:
         loc_u = self._nodes[u].location

@@ -98,3 +98,40 @@ class TestCustomerToCore:
         result = route_customer_demand_to_core(topo)
         assert result.routed_volume == pytest.approx(3.0)
         assert result.unrouted_volume == pytest.approx(5.0)
+
+
+class TestSearchCounts:
+    def test_customer_to_core_uses_one_multi_source_search(self):
+        from repro.topology.compiled import KERNEL_COUNTERS
+
+        topo = Topology()
+        topo.add_node("core0", role=NodeRole.CORE, location=(0, 0))
+        topo.add_node("core1", role=NodeRole.CORE, location=(9, 0))
+        previous = "core0"
+        for i in range(6):
+            name = f"c{i}"
+            topo.add_node(name, role=NodeRole.CUSTOMER, location=(i + 1, 0), demand=1.0)
+            topo.add_link(previous, name)
+            previous = name
+        topo.add_link(previous, "core1")
+        topo.compiled()  # compile outside the measured window
+        KERNEL_COUNTERS.reset()
+        result = route_customer_demand_to_core(topo)
+        assert result.routed_volume == pytest.approx(6.0)
+        assert KERNEL_COUNTERS.multi_source == 1
+        assert KERNEL_COUNTERS.single_source == 0
+
+    def test_assign_demand_one_search_per_source(self):
+        from repro.geography.demand import DemandMatrix
+        from repro.topology.compiled import KERNEL_COUNTERS
+
+        topo = backbone()
+        demand = DemandMatrix(endpoints=["x", "y", "z"])
+        demand.set_demand("x", "y", 1.0)
+        demand.set_demand("x", "z", 2.0)
+        demand.set_demand("y", "z", 3.0)
+        topo.compiled()
+        KERNEL_COUNTERS.reset()
+        assign_demand(topo, demand)
+        # Two distinct sources (x, y) — the x search is reused for both x pairs.
+        assert KERNEL_COUNTERS.single_source == 2

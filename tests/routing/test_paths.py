@@ -87,3 +87,43 @@ class TestDisjointPaths:
         topo = diamond()
         k_shortest_node_disjoint_paths(topo, "a", "d", k=3)
         assert topo.num_links == 5
+
+
+class TestPathCacheVersionedInvalidation:
+    """Structural mutations invalidate the cache without calling invalidate()."""
+
+    def test_mutation_auto_invalidates(self):
+        topo = diamond()
+        cache = PathCache(topo, resolve_weight("length"))
+        assert cache.distance("a", "d") == pytest.approx(2.0)
+        topo.remove_link("a", "b")
+        topo.remove_link("a", "c")
+        # No manual invalidate(): the version check must catch the mutation.
+        assert cache.distance("a", "d") == pytest.approx(10.0)
+        assert cache.path("a", "d") == ["a", "d"]
+
+    def test_added_shortcut_used_immediately(self):
+        topo = diamond()
+        cache = PathCache(topo, resolve_weight("length"))
+        assert cache.distance("a", "d") == pytest.approx(2.0)
+        topo.add_link("b", "c", length=0.1)
+        assert cache.distance("b", "c") == pytest.approx(0.1)
+
+    def test_route_resolves_links_and_keys(self):
+        topo = diamond()
+        cache = PathCache(topo, resolve_weight("length"))
+        routed = cache.route("a", "d")
+        assert routed.nodes[0] == "a" and routed.nodes[-1] == "d"
+        assert len(routed.links) == len(routed.nodes) - 1
+        for (u, v), link, key in zip(
+            zip(routed.nodes, routed.nodes[1:]), routed.links, routed.keys
+        ):
+            assert link is topo.link(u, v)
+            assert key == link.key
+
+    def test_route_source_equals_target(self):
+        topo = diamond()
+        cache = PathCache(topo, resolve_weight("length"))
+        routed = cache.route("a", "a")
+        assert routed.nodes == ["a"]
+        assert routed.links == [] and routed.keys == []

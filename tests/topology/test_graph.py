@@ -214,3 +214,40 @@ class TestUnion:
         assert merged.num_nodes == 3
         assert merged.node("x").demand == 1.0
         assert merged.num_links == 2
+
+
+class TestSelfLoopErrors:
+    """Self-loop attempts raise TopologyError everywhere, never bare ValueError."""
+
+    def build(self) -> Topology:
+        topo = Topology()
+        topo.add_node("a")
+        topo.add_node("b")
+        topo.add_link("a", "b")
+        return topo
+
+    def test_add_link_self_loop_raises_topology_error(self):
+        topo = self.build()
+        with pytest.raises(TopologyError, match="self-loop"):
+            topo.add_link("a", "a")
+
+    def test_link_lookup_self_loop_raises_topology_error(self):
+        topo = self.build()
+        with pytest.raises(TopologyError, match="self-loop"):
+            topo.link("a", "a")
+
+    def test_remove_link_self_loop_raises_topology_error(self):
+        topo = self.build()
+        with pytest.raises(TopologyError, match="self-loop"):
+            topo.remove_link("a", "a")
+
+    def test_has_link_self_loop_is_false_not_error(self):
+        topo = self.build()
+        assert topo.has_link("a", "a") is False
+
+    def test_missing_link_still_topology_error(self):
+        topo = self.build()
+        with pytest.raises(TopologyError, match="does not exist"):
+            topo.link("a", "ghost")
+        with pytest.raises(TopologyError, match="does not exist"):
+            topo.remove_link("a", "ghost")
