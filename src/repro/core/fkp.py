@@ -32,11 +32,12 @@ from __future__ import annotations
 
 import math
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..geography.points import euclidean
 from ..geography.regions import Region, unit_square
+from ..geography.spatial_index import SpatialGridIndex
 from ..topology.graph import Topology
 from ..topology.node import NodeRole
 
@@ -54,12 +55,14 @@ class FKPState:
         locations: Node locations, indexed by node id.
         hop_to_root: Hop distance from each node to the root (node 0).
         subtree_size: Number of descendants (including self) of each node.
+        parent: Explicit parent pointer of each non-root node.
     """
 
     topology: Topology
     locations: List[Tuple[float, float]]
     hop_to_root: Dict[int, int]
     subtree_size: Dict[int, int]
+    parent: Dict[int, int] = field(default_factory=dict)
 
 
 def hop_centrality(state: FKPState, node_id: int) -> float:
@@ -119,14 +122,73 @@ def alpha_regime(alpha: float, num_nodes: int) -> str:
     return "power-law"
 
 
+#: Centrality functions whose per-node value never changes after attachment.
+#: Only these are safe to cache inside the spatial index; any other function
+#: (e.g. :func:`subtree_load_centrality`, whose values change as the tree
+#: grows) falls back to the exhaustive scan.
+_STATIC_CENTRALITIES = (hop_centrality, euclidean_centrality)
+
+
+class _HopLevelIndex:
+    """Exact ``argmin alpha*d(i,j) + hop(j)`` via one spatial grid per hop level.
+
+    The hop centrality takes small integer values, so the argmin decomposes
+    over hop levels: the winner at level ``h`` is the nearest level-``h`` node.
+    Levels are queried in ascending order, each as a
+    :class:`~repro.geography.spatial_index.SpatialGridIndex` ring query whose
+    members all carry ``score = h`` (the objective is therefore computed with
+    the exact same float expression as the full scan), passing the incumbent
+    objective as the pruning cutoff; once ``h`` alone exceeds the incumbent,
+    no deeper level can win and the loop stops.  Equal objectives keep the
+    lowest node id, exactly like the seed's ascending-id scan.
+    """
+
+    def __init__(self, region: Region) -> None:
+        self._region = region
+        self._levels: List[SpatialGridIndex] = []
+
+    def insert(self, node_id: int, point: Tuple[float, float], hop: int) -> None:
+        if hop == len(self._levels):
+            self._levels.append(SpatialGridIndex(self._region, expected_points=4))
+        self._levels[hop].insert(node_id, point, float(hop))
+
+    def argmin(self, query: Tuple[float, float], alpha: float) -> int:
+        best_id: Optional[int] = None
+        best_obj = math.inf
+        for level, grid in enumerate(self._levels):
+            if best_id is not None and level > best_obj:
+                break
+            candidate, objective = grid.argmin(query, alpha, stop_above=best_obj)
+            if candidate is not None and (
+                objective < best_obj
+                or (objective == best_obj and candidate < best_id)
+            ):
+                best_id = candidate
+                best_obj = objective
+        assert best_id is not None
+        return best_id
+
+
 class FKPModel:
     """Incremental FKP tree growth.
+
+    Each arrival solves ``argmin_j alpha*d(i,j) + h(j)``.  For the default
+    hop centrality the argmin runs over :class:`_HopLevelIndex` (one spatial
+    grid per hop level); for the Euclidean-to-root centrality it runs over a
+    single :class:`~repro.geography.spatial_index.SpatialGridIndex`.  In both
+    cases grid cells are skipped when ``alpha*d_min(cell) + min_h(cell)``
+    already exceeds the best objective found, which prunes the seed's O(n)
+    scan per arrival down to a handful of nearby cells while returning the
+    *exact* same parent (ties still break toward the lowest id).  Custom
+    centrality functions use the full scan, unchanged.
 
     Args:
         parameters: Growth parameters (size, alpha, seed).
         region: Region in which nodes are placed (default: unit square).
         centrality: Centrality function ``h(j)``; default is hop distance to
             the root, as in the original model.
+        use_spatial_index: Disable to force the exhaustive scan even for
+            static centralities (reference path for tests and benchmarks).
 
     Example:
         >>> model = FKPModel(FKPParameters(num_nodes=100, alpha=4.0, seed=1))
@@ -140,10 +202,12 @@ class FKPModel:
         parameters: FKPParameters,
         region: Optional[Region] = None,
         centrality: CentralityFunction = hop_centrality,
+        use_spatial_index: bool = True,
     ) -> None:
         self.parameters = parameters
         self.region = region or unit_square()
         self.centrality = centrality
+        self.use_spatial_index = use_spatial_index
 
     def generate(self) -> Topology:
         """Run the growth process and return the resulting tree topology.
@@ -169,17 +233,39 @@ class FKPModel:
             subtree_size={0: 1},
         )
 
+        hop_index: Optional[_HopLevelIndex] = None
+        flat_index: Optional[SpatialGridIndex] = None
+        if self.use_spatial_index and self.centrality is hop_centrality:
+            hop_index = _HopLevelIndex(self.region)
+            hop_index.insert(0, locations[0], 0)
+        elif self.use_spatial_index and self.centrality in _STATIC_CENTRALITIES:
+            flat_index = SpatialGridIndex(self.region, expected_points=params.num_nodes)
+            flat_index.insert(0, locations[0], self.centrality(state, 0))
+
+        alpha = params.alpha
         for new_id in range(1, params.num_nodes):
-            parent = self._choose_parent(state, new_id)
+            if hop_index is not None:
+                parent = hop_index.argmin(locations[new_id], alpha)
+            elif flat_index is not None:
+                parent, _ = flat_index.argmin(locations[new_id], alpha)
+            else:
+                parent = self._choose_parent(state, new_id)
             topology.add_node(new_id, role=NodeRole.CUSTOMER, location=locations[new_id])
             topology.add_link(parent, new_id)
             state.hop_to_root[new_id] = state.hop_to_root[parent] + 1
             state.subtree_size[new_id] = 1
+            state.parent[new_id] = parent
             self._propagate_subtree_increment(state, parent)
+            if hop_index is not None:
+                hop_index.insert(new_id, locations[new_id], state.hop_to_root[new_id])
+            elif flat_index is not None:
+                flat_index.insert(
+                    new_id, locations[new_id], self.centrality(state, new_id)
+                )
         return topology
 
     def _choose_parent(self, state: FKPState, new_id: int) -> int:
-        """Pick the existing node minimizing alpha*d(i,j) + h(j)."""
+        """Pick the existing node minimizing alpha*d(i,j) + h(j) by full scan."""
         alpha = self.parameters.alpha
         new_location = state.locations[new_id]
         best_parent = 0
@@ -195,22 +281,13 @@ class FKPModel:
 
     def _propagate_subtree_increment(self, state: FKPState, start: int) -> None:
         """Increment subtree sizes on the path from ``start`` up to the root."""
+        parent = state.parent
         current = start
-        visited = set()
         while True:
             state.subtree_size[current] += 1
-            visited.add(current)
             if current == 0:
                 break
-            hop = state.hop_to_root[current]
-            parent = None
-            for neighbor in state.topology.neighbors(current):
-                if state.hop_to_root.get(neighbor, math.inf) == hop - 1:
-                    parent = neighbor
-                    break
-            if parent is None or parent in visited:
-                break
-            current = parent
+            current = parent[current]
 
 
 def generate_fkp_tree(

@@ -16,6 +16,13 @@ from .base import (
     make_generator,
     register_generator,
 )
+from .sampling import (
+    FenwickSampler,
+    MultisetSampler,
+    linear_weighted_index,
+    skip_sampled_indices,
+    skip_sampled_pairs,
+)
 from .erdos_renyi import ErdosRenyiGenerator
 from .waxman import WaxmanGenerator
 from .barabasi_albert import BarabasiAlbertGenerator
@@ -35,6 +42,11 @@ register_generator("inet", InetGenerator)
 register_generator("transit-stub", TransitStubGenerator)
 
 __all__ = [
+    "FenwickSampler",
+    "MultisetSampler",
+    "linear_weighted_index",
+    "skip_sampled_indices",
+    "skip_sampled_pairs",
     "GeneratedEnsemble",
     "TopologyGenerator",
     "available_generators",

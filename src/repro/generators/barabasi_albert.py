@@ -11,10 +11,11 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Optional
 
 from ..topology.graph import Topology
 from .base import TopologyGenerator
+from .sampling import MultisetSampler
 
 
 @dataclass
@@ -48,21 +49,21 @@ class BarabasiAlbertGenerator(TopologyGenerator):
             for v in range(u + 1, m + 1):
                 topology.add_link(u, v)
 
-        # repeated_targets holds each node once per unit of degree, so uniform
-        # sampling from it is sampling proportionally to degree.
-        repeated_targets: List[int] = []
+        # The sampler holds each node once per unit of degree, so its uniform
+        # O(1) draw is a draw proportional to degree.
+        sampler = MultisetSampler()
         for node_id in range(m + 1):
-            repeated_targets.extend([node_id] * topology.degree(node_id))
+            sampler.add(node_id, topology.degree(node_id))
 
         for new_id in range(m + 1, num_nodes):
             targets = set()
             while len(targets) < m:
-                targets.add(repeated_targets[rng.randrange(len(repeated_targets))])
+                targets.add(sampler.sample(rng))
             topology.add_node(new_id)
             for target in targets:
                 topology.add_link(new_id, target)
-                repeated_targets.append(target)
-            repeated_targets.extend([new_id] * m)
+                sampler.add(target)
+            sampler.add(new_id, m)
         return topology
 
     def describe(self):

@@ -1,4 +1,12 @@
-"""Erdős–Rényi random graphs (the null-model baseline)."""
+"""Erdős–Rényi random graphs (the null-model baseline).
+
+Edges are drawn by geometric skip-sampling over the flattened pair order
+(:func:`~repro.generators.sampling.skip_sampled_pairs`): the per-pair edge
+distribution is exactly Bernoulli(p), but the cost is O(n + expected_links)
+instead of the seed's O(n^2) per-pair loop.  The random stream differs from
+the seed's, so per-seed outputs changed with the generation-engine rewrite;
+G(n, p) itself is unchanged.
+"""
 
 from __future__ import annotations
 
@@ -8,6 +16,7 @@ from typing import Optional
 
 from ..topology.graph import Topology
 from .base import TopologyGenerator, ensure_connected
+from .sampling import skip_sampled_pairs
 
 
 @dataclass
@@ -45,10 +54,8 @@ class ErdosRenyiGenerator(TopologyGenerator):
         topology.metadata["p"] = p
         for node_id in range(num_nodes):
             topology.add_node(node_id)
-        for u in range(num_nodes):
-            for v in range(u + 1, num_nodes):
-                if rng.random() < p:
-                    topology.add_link(u, v)
+        for u, v in skip_sampled_pairs(num_nodes, p, rng):
+            topology.add_link(u, v)
         if self.connect:
             ensure_connected(topology, rng)
         return topology

@@ -5,6 +5,17 @@ clustering than plain preferential attachment: attachment probability is
 proportional to ``degree - beta_glp`` (with ``beta_glp < 1``), and each step
 either adds a new node with ``m`` links (probability ``p_new``) or adds ``m``
 extra links between existing nodes (probability ``1 - p_new``).
+
+The growth loop runs against the shared generation engine
+(:mod:`repro.generators.sampling`): node degrees are maintained incrementally
+in a :class:`~repro.generators.sampling.FenwickSampler` keyed by node id, so
+each preferential draw costs O(log n) instead of rebuilding the candidate and
+weight lists (with one ``Topology.degree`` call per candidate) and scanning
+them linearly, as the seed implementation did.  The sampler reproduces the
+seed's inverse-CDF semantics — one ``rng.random()`` per attempt, mapped to
+the smallest node whose cumulative ``max(1e-9, degree - beta)`` weight
+reaches ``u * total`` — so seeded outputs are bit-identical (pinned by the
+hash regression tests in ``tests/generators/test_seed_stability.py``).
 """
 
 from __future__ import annotations
@@ -13,8 +24,9 @@ import random
 from dataclasses import dataclass
 from typing import List, Optional
 
-from ..topology.graph import Topology
+from ..topology.graph import Topology, TopologyError
 from .base import TopologyGenerator
+from .sampling import FenwickSampler
 
 
 @dataclass
@@ -57,6 +69,14 @@ class GLPGenerator(TopologyGenerator):
         for node_id in range(m + 1):
             topology.add_link(node_id, node_id + 1)
 
+        # New nodes get ids m+2 .. num_nodes-1, so num_nodes bounds every id.
+        degrees = [0] * num_nodes
+        sampler = FenwickSampler(num_nodes)
+        beta = self.beta_glp
+        for node_id in range(m + 2):
+            degrees[node_id] = topology.degree(node_id)
+            sampler.set_weight(node_id, max(1e-9, degrees[node_id] - beta))
+
         next_id = m + 2
         max_steps = 50 * num_nodes
         steps = 0
@@ -65,37 +85,53 @@ class GLPGenerator(TopologyGenerator):
             if rng.random() < self.p_new:
                 new_id = next_id
                 next_id += 1
+                # The new node enters the sampler only after its links exist,
+                # which is exactly the seed's ``exclude={new_id}``.
                 topology.add_node(new_id)
-                targets = self._preferential_targets(topology, rng, m, exclude={new_id})
+                targets = self._sample_distinct(sampler, rng, m)
                 for target in targets:
                     if not topology.has_link(new_id, target):
                         topology.add_link(new_id, target)
+                        degrees[new_id] += 1
+                        degrees[target] += 1
+                        sampler.set_weight(target, max(1e-9, degrees[target] - beta))
+                sampler.set_weight(new_id, max(1e-9, degrees[new_id] - beta))
             else:
                 for _ in range(m):
-                    pair = self._preferential_targets(topology, rng, 2, exclude=set())
+                    pair = self._sample_distinct(sampler, rng, 2)
                     if len(pair) == 2 and not topology.has_link(pair[0], pair[1]):
                         topology.add_link(pair[0], pair[1])
+                        for endpoint in pair:
+                            degrees[endpoint] += 1
+                            sampler.set_weight(
+                                endpoint, max(1e-9, degrees[endpoint] - beta)
+                            )
+        if topology.num_nodes < num_nodes:
+            raise TopologyError(
+                f"GLP undershoot: step cap {max_steps} reached with only "
+                f"{topology.num_nodes} of {num_nodes} nodes (p_new={self.p_new}); "
+                "raise p_new or the step budget"
+            )
         return topology
 
-    def _preferential_targets(
-        self, topology: Topology, rng: random.Random, count: int, exclude: set
+    @staticmethod
+    def _sample_distinct(
+        sampler: FenwickSampler, rng: random.Random, count: int
     ) -> List[int]:
-        """Sample ``count`` distinct nodes with probability ∝ (degree - beta)."""
-        candidates = [n for n in topology.node_ids() if n not in exclude]
-        weights = [max(1e-9, topology.degree(n) - self.beta_glp) for n in candidates]
-        total = sum(weights)
+        """Sample ``count`` distinct nodes with probability ∝ (degree - beta).
+
+        Mirrors the seed's retry loop: one ``rng.random()`` per attempt, a
+        draw that lands on an already-chosen node is discarded, and at most
+        ``100 * count`` attempts are made.
+        """
+        wanted = min(count, sampler.active_count)
         chosen: List[int] = []
         attempts = 0
-        while len(chosen) < min(count, len(candidates)) and attempts < 100 * count:
+        while len(chosen) < wanted and attempts < 100 * count:
             attempts += 1
-            target_weight = rng.random() * total
-            cumulative = 0.0
-            for candidate, weight in zip(candidates, weights):
-                cumulative += weight
-                if target_weight <= cumulative:
-                    if candidate not in chosen:
-                        chosen.append(candidate)
-                    break
+            candidate = sampler.sample(rng)
+            if candidate not in chosen:
+                chosen.append(candidate)
         return chosen
 
     def describe(self):

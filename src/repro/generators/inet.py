@@ -5,17 +5,26 @@ power-law degree sequence, (2) building a spanning tree among nodes of degree
 at least two to guarantee connectivity, and (3) matching the remaining degree
 "stubs" preferentially by remaining degree.  This implementation follows that
 three-phase structure.
+
+All three phases draw through :class:`~repro.generators.sampling.FenwickSampler`
+instances that mirror the seed's candidate lists — the growing core prefix in
+phase 1, the full core in phase 2, and the open (positive-remaining) nodes in
+phase 3 — with weights updated incrementally as stubs are consumed, replacing
+the seed's O(n) candidate rebuild and linear scan per draw with O(log n)
+updates and draws.  All weights are integers, so the sampler's prefix sums
+are exact and every draw is provably bit-identical to the seed's scan.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Optional
 
 from ..topology.graph import Topology
 from .base import TopologyGenerator
 from .plrg import power_law_degree_sequence
+from .sampling import FenwickSampler
 
 
 @dataclass
@@ -55,60 +64,73 @@ class InetGenerator(TopologyGenerator):
 
         remaining = list(degrees)
 
+        # Phases 1 and 2 sample over the core with weight max(remaining, 1):
+        # a Fenwick tree in core order, grown one position per phase-1 step so
+        # its prefix always equals the seed's ``core_nodes[:position]`` list.
+        core_nodes = [n for n in range(num_nodes) if degrees[n] >= 2] or [0, 1]
+        core_position = {node: pos for pos, node in enumerate(core_nodes)}
+        core_sampler = FenwickSampler(len(core_nodes))
+
+        def core_weight_changed(node: int) -> None:
+            pos = core_position.get(node)
+            if pos is not None and pos < inserted:
+                core_sampler.set_weight(pos, max(remaining[node], 1))
+
         # Phase 1: spanning tree over nodes with prescribed degree >= 2,
         # attaching each new node to a preferentially chosen earlier node.
-        core_nodes = [n for n in range(num_nodes) if degrees[n] >= 2] or [0, 1]
+        core_sampler.set_weight(0, max(remaining[core_nodes[0]], 1))
+        inserted = 1
         for position in range(1, len(core_nodes)):
             node = core_nodes[position]
-            target = self._preferential_choice(core_nodes[:position], remaining, rng)
-            if target is not None and not topology.has_link(node, target):
+            target = core_nodes[core_sampler.sample(rng)]
+            if not topology.has_link(node, target):
                 topology.add_link(node, target)
                 remaining[node] -= 1
                 remaining[target] -= 1
+                core_weight_changed(target)
+            core_sampler.set_weight(position, max(remaining[node], 1))
+            inserted = position + 1
 
         # Phase 2: attach degree-1 nodes to the core preferentially.
-        leaf_nodes = [n for n in range(num_nodes) if degrees[n] < 2 and n not in core_nodes]
+        leaf_nodes = [n for n in range(num_nodes) if degrees[n] < 2 and n not in core_position]
         for node in leaf_nodes:
-            target = self._preferential_choice(core_nodes, remaining, rng)
-            if target is not None and not topology.has_link(node, target):
+            target = core_nodes[core_sampler.sample(rng)]
+            if not topology.has_link(node, target):
                 topology.add_link(node, target)
                 remaining[node] -= 1
                 remaining[target] -= 1
+                core_weight_changed(target)
 
-        # Phase 3: consume remaining stubs by preferential matching.
+        # Phase 3: consume remaining stubs by preferential matching over the
+        # open nodes (remaining > 0), weight = remaining.
+        open_sampler = FenwickSampler(num_nodes)
+        for node in range(num_nodes):
+            if remaining[node] > 0:
+                open_sampler.set_weight(node, remaining[node])
+
+        def open_weight_changed(node: int) -> None:
+            open_sampler.set_weight(node, remaining[node] if remaining[node] > 0 else 0)
+
         attempts = 0
         max_attempts = 20 * num_nodes
         while attempts < max_attempts:
             attempts += 1
-            open_nodes = [n for n in range(num_nodes) if remaining[n] > 0]
-            if len(open_nodes) < 2:
+            if open_sampler.active_count < 2:
                 break
-            u = self._preferential_choice(open_nodes, remaining, rng)
-            v = self._preferential_choice([n for n in open_nodes if n != u], remaining, rng)
-            if u is None or v is None:
-                break
+            u = open_sampler.sample(rng)
+            # Exclude u for the second draw by zeroing its weight, exactly the
+            # seed's ``[n for n in open_nodes if n != u]`` candidate list.
+            u_weight = open_sampler.weight(u)
+            open_sampler.set_weight(u, 0)
+            v = open_sampler.sample(rng)
+            open_sampler.set_weight(u, u_weight)
             if not topology.has_link(u, v):
                 topology.add_link(u, v)
                 remaining[u] -= 1
                 remaining[v] -= 1
+                open_weight_changed(u)
+                open_weight_changed(v)
         return topology
-
-    @staticmethod
-    def _preferential_choice(
-        candidates: List[int], remaining: List[int], rng: random.Random
-    ) -> Optional[int]:
-        """Pick a candidate with probability proportional to its remaining degree."""
-        if not candidates:
-            return None
-        weights = [max(remaining[c], 1) for c in candidates]
-        total = sum(weights)
-        target = rng.random() * total
-        cumulative = 0.0
-        for candidate, weight in zip(candidates, weights):
-            cumulative += weight
-            if target <= cumulative:
-                return candidate
-        return candidates[-1]
 
     def describe(self):
         return {

@@ -10,6 +10,7 @@ comparator for experiment E5.
 from __future__ import annotations
 
 import random
+from bisect import bisect_left
 from dataclasses import dataclass
 from typing import List, Optional
 
@@ -47,12 +48,16 @@ def power_law_degree_sequence(
         running += weight / total
         cumulative.append(running)
 
+    # Inverse transform via bisect on the cumulative table: the first index
+    # with cumulative >= u, capped at the last entry — the same comparisons
+    # against the same floats as a linear scan, in O(log k) per draw.
     degrees = []
+    last = len(cumulative) - 1
     for _ in range(num_nodes):
         u = rng.random()
-        index = 0
-        while index < len(cumulative) - 1 and cumulative[index] < u:
-            index += 1
+        index = bisect_left(cumulative, u)
+        if index > last:
+            index = last
         degrees.append(min_degree + index)
     if sum(degrees) % 2 == 1:
         degrees[rng.randrange(num_nodes)] += 1

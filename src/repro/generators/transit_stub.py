@@ -17,6 +17,7 @@ from typing import List, Optional
 from ..topology.graph import Topology
 from ..topology.node import NodeRole
 from .base import TopologyGenerator, ensure_connected
+from .sampling import skip_sampled_pairs
 
 
 @dataclass
@@ -84,11 +85,9 @@ class TransitStubGenerator(TopologyGenerator):
             b = transit_nodes[(index + 1) % num_transit]
             if not topology.has_link(a, b):
                 topology.add_link(a, b)
-        for i in range(num_transit):
-            for j in range(i + 1, num_transit):
-                if rng.random() < self.transit_edge_probability:
-                    if not topology.has_link(transit_nodes[i], transit_nodes[j]):
-                        topology.add_link(transit_nodes[i], transit_nodes[j])
+        for i, j in skip_sampled_pairs(num_transit, self.transit_edge_probability, rng):
+            if not topology.has_link(transit_nodes[i], transit_nodes[j]):
+                topology.add_link(transit_nodes[i], transit_nodes[j])
         return transit_nodes
 
     def _build_stubs(
@@ -114,11 +113,10 @@ class TransitStubGenerator(TopologyGenerator):
             # Path backbone within the stub, plus random chords.
             for a, b in zip(stub_nodes, stub_nodes[1:]):
                 topology.add_link(a, b)
-            for i in range(size):
-                for j in range(i + 2, size):
-                    if rng.random() < self.stub_edge_probability:
-                        if not topology.has_link(stub_nodes[i], stub_nodes[j]):
-                            topology.add_link(stub_nodes[i], stub_nodes[j])
+            # min_gap=2 skips the path-adjacent pairs already linked above.
+            for i, j in skip_sampled_pairs(size, self.stub_edge_probability, rng, min_gap=2):
+                if not topology.has_link(stub_nodes[i], stub_nodes[j]):
+                    topology.add_link(stub_nodes[i], stub_nodes[j])
             # One mandatory uplink plus optional extra transit-stub links.
             gateway = stub_nodes[rng.randrange(size)]
             transit_anchor = transit_nodes[rng.randrange(len(transit_nodes))]

@@ -14,6 +14,7 @@ from .points import (
     total_length,
 )
 from .regions import Region, metro_region, national_region, unit_square
+from .spatial_index import GridBuckets, SpatialGridIndex
 from .population import (
     City,
     PopulationModel,
@@ -39,6 +40,8 @@ __all__ = [
     "metro_region",
     "national_region",
     "unit_square",
+    "GridBuckets",
+    "SpatialGridIndex",
     "City",
     "PopulationModel",
     "population_weights",

@@ -64,25 +64,36 @@ __all__ = [
 
 
 class KernelCounters:
-    """Invocation counters for the compiled kernels (benchmark instrumentation).
+    """Invocation counters for the compiled kernels and the generation engine.
 
     The counters make algorithmic claims checkable: e.g. the benchmark suite
     asserts that routing all customer demand to cores performs exactly one
-    multi-source search instead of ``customers x cores`` single-source runs.
+    multi-source search instead of ``customers x cores`` single-source runs,
+    and that generator growth performs O(n log n) sampler operations
+    (``sampler_draws``/``sampler_updates``) and a bounded number of spatial
+    candidate evaluations (``spatial_queries``/``spatial_candidates``) instead
+    of the seed's O(n^2) scans.
     """
 
-    __slots__ = ("single_source", "multi_source", "bfs", "components", "compilations")
+    __slots__ = (
+        "single_source",
+        "multi_source",
+        "bfs",
+        "components",
+        "compilations",
+        "sampler_draws",
+        "sampler_updates",
+        "spatial_queries",
+        "spatial_candidates",
+    )
 
     def __init__(self) -> None:
         self.reset()
 
     def reset(self) -> None:
         """Zero all counters."""
-        self.single_source = 0
-        self.multi_source = 0
-        self.bfs = 0
-        self.components = 0
-        self.compilations = 0
+        for name in self.__slots__:
+            setattr(self, name, 0)
 
     def snapshot(self) -> Dict[str, int]:
         """Return the current counts as a plain dictionary."""

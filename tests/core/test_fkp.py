@@ -7,6 +7,7 @@ import pytest
 from repro.core.fkp import (
     FKPModel,
     FKPParameters,
+    FKPState,
     alpha_regime,
     alpha_sweep,
     characteristic_alphas,
@@ -14,6 +15,7 @@ from repro.core.fkp import (
     generate_fkp_tree,
     subtree_load_centrality,
 )
+from repro.topology.graph import Topology
 from repro.metrics.degree import max_degree_share
 from repro.metrics.fits import classify_tail
 from repro.topology.node import NodeRole
@@ -109,6 +111,55 @@ class TestRegimeBehaviour:
         topo = generate_fkp_tree(500, 4.0, seed=7)
         verdict = classify_tail(topo.degree_sequence()).verdict
         assert verdict in ("power-law", "inconclusive")
+
+
+class TestSubtreePropagation:
+    def test_parent_pointer_propagation_counts_descendants(self):
+        """Subtree sizes follow the explicit parent pointers exactly."""
+        topology = Topology()
+        # Tree: 0 - 1 - 2, 1 - 3, 0 - 4
+        parents = {1: 0, 2: 1, 3: 1, 4: 0}
+        locations = [(0.0, 0.0)] * 5
+        for node in range(5):
+            topology.add_node(node)
+        state = FKPState(
+            topology=topology,
+            locations=locations,
+            hop_to_root={0: 0},
+            subtree_size={0: 1},
+        )
+        model = FKPModel(FKPParameters(num_nodes=5, alpha=1.0, seed=0))
+        for child, parent in parents.items():
+            topology.add_link(parent, child)
+            state.hop_to_root[child] = state.hop_to_root[parent] + 1
+            state.subtree_size[child] = 1
+            state.parent[child] = parent
+            model._propagate_subtree_increment(state, parent)
+        assert state.subtree_size == {0: 5, 1: 3, 2: 1, 3: 1, 4: 1}
+
+    def test_generated_subtree_sizes_consistent(self):
+        """End-to-end: every subtree size equals 1 + sum of child subtrees."""
+        captured = {}
+
+        def capturing_centrality(state, node_id):
+            captured["state"] = state
+            return float(state.hop_to_root[node_id])
+
+        model = FKPModel(
+            FKPParameters(num_nodes=80, alpha=4.0, seed=3),
+            centrality=capturing_centrality,
+        )
+        topo = model.generate()
+        state = captured["state"]
+        children = {}
+        for child, parent in state.parent.items():
+            children.setdefault(parent, []).append(child)
+
+        def count(node):
+            return 1 + sum(count(c) for c in children.get(node, []))
+
+        for node in topo.node_ids():
+            assert state.subtree_size[node] == count(node)
 
 
 class TestVariants:

@@ -1,5 +1,6 @@
 """Tests for the descriptive baseline generators (repro.generators)."""
 
+import math
 import random
 
 import pytest
@@ -19,7 +20,7 @@ from repro.generators import (
 )
 from repro.generators.plrg import power_law_degree_sequence
 from repro.metrics.fits import classify_tail
-from repro.topology.graph import Topology
+from repro.topology.graph import Topology, TopologyError
 
 ALL_GENERATOR_NAMES = [
     "erdos-renyi",
@@ -103,6 +104,108 @@ class TestWaxman:
         assert all(node.location is not None for node in topo.nodes())
 
 
+class TestWaxmanStatistics:
+    """Statistical gates for the grid-bucketed Waxman sampler.
+
+    The grid method draws the exact Waxman edge distribution but with a
+    different random stream than the seed's per-pair loop, so equivalence is
+    gated statistically against the retained ``naive`` reference.
+    """
+
+    NUM_NODES = 250
+
+    def _expected_links(self, topo, alpha_w, beta):
+        """Analytic E[links] and Var[links] given the realized locations."""
+        locations = [node.location for node in topo.nodes()]
+        diagonal = 2**0.5
+        expected = variance = 0.0
+        for i in range(len(locations)):
+            for j in range(i + 1, len(locations)):
+                d = math.hypot(
+                    locations[i][0] - locations[j][0],
+                    locations[i][1] - locations[j][1],
+                )
+                p = beta * math.exp(-d / (alpha_w * diagonal))
+                expected += p
+                variance += p * (1 - p)
+        return expected, variance
+
+    def test_link_count_within_three_sigma(self):
+        alpha_w, beta = 0.2, 0.4
+        for seed in (1, 2, 3):
+            topo = WaxmanGenerator(
+                alpha_w=alpha_w, beta=beta, connect=False
+            ).generate(self.NUM_NODES, seed=seed)
+            expected, variance = self._expected_links(topo, alpha_w, beta)
+            assert abs(topo.num_links - expected) <= 3.0 * math.sqrt(variance)
+
+    def test_degree_distribution_ks_vs_naive(self):
+        grid_degrees, naive_degrees = [], []
+        for seed in (10, 11, 12):
+            grid = WaxmanGenerator(connect=False, method="grid")
+            naive = WaxmanGenerator(connect=False, method="naive")
+            grid_degrees.extend(grid.generate(self.NUM_NODES, seed=seed).degree_sequence())
+            naive_degrees.extend(
+                naive.generate(self.NUM_NODES, seed=seed + 100).degree_sequence()
+            )
+        statistic = two_sample_ks_statistic(grid_degrees, naive_degrees)
+        n1, n2 = len(grid_degrees), len(naive_degrees)
+        critical = 1.63 * math.sqrt((n1 + n2) / (n1 * n2))  # alpha = 0.01
+        assert statistic <= critical
+
+    def test_naive_method_unchanged_from_seed(self):
+        """The reference path still produces the seed's per-seed stream."""
+        topo = WaxmanGenerator(method="naive", connect=False).generate(60, seed=3)
+        rng = random.Random(3)
+        locations = [(rng.random(), rng.random()) for _ in range(60)]
+        expected = []
+        diagonal = 2**0.5
+        for u in range(60):
+            for v in range(u + 1, 60):
+                d = math.hypot(
+                    locations[u][0] - locations[v][0],
+                    locations[u][1] - locations[v][1],
+                )
+                if rng.random() < 0.4 * math.exp(-d / (0.2 * diagonal)):
+                    expected.append((u, v))
+        got = sorted(tuple(sorted(key)) for key in topo.link_keys())
+        assert got == sorted(expected)
+
+    def test_invalid_method_rejected(self):
+        with pytest.raises(ValueError):
+            WaxmanGenerator(method="magic")
+
+
+def two_sample_ks_statistic(a, b):
+    """Two-sample Kolmogorov–Smirnov statistic (no scipy dependency).
+
+    ECDFs are compared only at distinct values — both pointers advance past
+    every element equal to the current value before the difference is taken —
+    so heavily tied samples (integer degrees) are handled correctly.
+    """
+    a, b = sorted(a), sorted(b)
+    ia = ib = 0
+    statistic = 0.0
+    while ia < len(a) or ib < len(b):
+        if ib >= len(b) or (ia < len(a) and a[ia] <= b[ib]):
+            value = a[ia]
+        else:
+            value = b[ib]
+        while ia < len(a) and a[ia] == value:
+            ia += 1
+        while ib < len(b) and b[ib] == value:
+            ib += 1
+        statistic = max(statistic, abs(ia / len(a) - ib / len(b)))
+    return statistic
+
+
+def test_ks_statistic_handles_ties():
+    assert two_sample_ks_statistic([5, 5, 5, 5], [5, 5, 5, 5]) == 0.0
+    assert two_sample_ks_statistic([1, 1, 2, 2], [1, 1, 2, 2]) == 0.0
+    assert two_sample_ks_statistic([0, 0, 0], [1, 1, 1]) == 1.0
+    assert abs(two_sample_ks_statistic([1, 2, 3, 4], [1, 2, 3, 8]) - 0.25) < 1e-12
+
+
 class TestBarabasiAlbert:
     def test_power_law_tail(self):
         topo = BarabasiAlbertGenerator(links_per_node=2).generate(800, seed=6)
@@ -135,6 +238,13 @@ class TestGLP:
         topo = GLPGenerator().generate(500, seed=8)
         degrees = topo.degree_sequence()
         assert max(degrees) > 10 * (sum(degrees) / len(degrees))
+
+    def test_undershoot_raises_instead_of_silent_small_graph(self):
+        # p_new so small that the step cap is reached long before the target
+        # node count; the seed implementation silently returned a 3-node graph.
+        generator = GLPGenerator(p_new=1e-9)
+        with pytest.raises(TopologyError, match="undershoot"):
+            generator.generate(20, seed=1)
 
 
 class TestPLRG:
