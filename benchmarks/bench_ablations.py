@@ -1,208 +1,23 @@
 """E9 (supplementary) — Ablations of the design choices called out in DESIGN.md.
 
 Not a figure from the paper, but the ablation studies DESIGN.md commits to:
+arrival-order randomization of the incremental algorithm, per-node interface
+(degree) limits on FKP growth, the centrality definition in the FKP
+objective, and the reference-signature validation matrix.
 
-* **Solver ablation** is covered by E3; here we ablate the *randomization* of
-  the incremental algorithm (random vs demand-sorted vs given arrival order).
-* **Degree constraints** (paper §2.1 line-card limits): imposing a per-node
-  interface bound on the FKP growth process truncates the degree tail.
-* **Centrality definition** in the FKP objective: hop-to-root vs Euclidean
-  distance-to-root vs subtree-load centrality.
-* **Validation targets**: the generated HOT topologies match the reference
-  signatures of the graph family they are supposed to model (router-access),
-  and the degree-based baseline matches the AS-graph signature instead.
+All four sub-tables are one engine sweep in
+:mod:`repro.experiments.suites.e9_ablations`.  Writes ``BENCH_E9.json``.
 """
 
-import pytest
+from repro.experiments.reporting import bench_main, run_bench
 
-from _report import emit_rows
-from repro.core import (
-    MeyersonBuyAtBulk,
-    MeyersonParameters,
-    euclidean_centrality,
-    hop_centrality,
-    random_instance,
-    subtree_load_centrality,
-)
-from repro.core.fkp import FKPModel, FKPParameters
-from repro.generators import BarabasiAlbertGenerator
-from repro.metrics import classify_tail
-from repro.metrics.validation import as_graph_target, router_access_target, validate_topology
-from repro.topology.node import NodeRole
-
-SEED = 41
 EXPERIMENT = "E9"
 
 
-def run_arrival_order_ablation():
-    instance = random_instance(300, seed=SEED)
-    rows = []
-    for order in ("random", "demand", "given"):
-        solution = MeyersonBuyAtBulk(
-            instance, MeyersonParameters(seed=SEED, arrival_order=order)
-        ).solve()
-        degrees = solution.topology.degree_sequence()
-        rows.append(
-            {
-                "arrival_order": order,
-                "cost": round(solution.total_cost(), 1),
-                "max_degree": max(degrees),
-                "tail": classify_tail(degrees).verdict,
-            }
-        )
-    return rows
+def test_ablations():
+    """The smoke sweep passes all four ablation gates."""
+    run_bench(EXPERIMENT, smoke=True)
 
 
-def run_degree_constraint_ablation():
-    rows = []
-    for max_degree in (None, 16, 8, 4):
-        parameters = FKPParameters(num_nodes=600, alpha=4.0, seed=SEED)
-        model = FKPModel(parameters)
-        topology = model.generate()
-        if max_degree is not None:
-            # Re-run growth with a hard interface limit: candidates at the limit
-            # are skipped (the economically second-best attachment is used).
-            topology = _constrained_fkp(parameters, max_degree)
-        degrees = topology.degree_sequence()
-        rows.append(
-            {
-                "max_degree_limit": max_degree if max_degree is not None else "none",
-                "observed_max_degree": max(degrees),
-                "tail": classify_tail(degrees).verdict,
-                "is_tree": topology.is_tree(),
-            }
-        )
-    return rows
-
-
-def _constrained_fkp(parameters: FKPParameters, max_degree: int):
-    """FKP growth with a per-node interface limit (paper §2.1)."""
-    import random as random_module
-
-    from repro.geography.points import euclidean
-    from repro.geography.regions import unit_square
-    from repro.topology.graph import Topology
-
-    rng = random_module.Random(parameters.seed)
-    region = unit_square()
-    locations = region.sample_uniform(parameters.num_nodes, rng)
-    topology = Topology(name=f"fkp-constrained-{max_degree}")
-    topology.add_node(0, role=NodeRole.CORE, location=locations[0])
-    hops = {0: 0}
-    for new_id in range(1, parameters.num_nodes):
-        candidates = sorted(
-            (
-                parameters.alpha * euclidean(locations[new_id], locations[existing])
-                + hops[existing],
-                existing,
-            )
-            for existing in topology.node_ids()
-        )
-        parent = None
-        for _, candidate in candidates:
-            if topology.degree(candidate) < max_degree:
-                parent = candidate
-                break
-        if parent is None:
-            parent = candidates[0][1]
-        topology.add_node(new_id, role=NodeRole.CUSTOMER, location=locations[new_id])
-        topology.add_link(parent, new_id)
-        hops[new_id] = hops[parent] + 1
-    return topology
-
-
-def run_centrality_ablation():
-    rows = []
-    variants = {
-        "hop-to-root": hop_centrality,
-        "euclidean-to-root": euclidean_centrality,
-        "subtree-load": subtree_load_centrality,
-    }
-    for name, centrality in variants.items():
-        model = FKPModel(
-            FKPParameters(num_nodes=600, alpha=4.0, seed=SEED), centrality=centrality
-        )
-        topology = model.generate()
-        degrees = topology.degree_sequence()
-        rows.append(
-            {
-                "centrality": name,
-                "max_degree": max(degrees),
-                "tail": classify_tail(degrees).verdict,
-                "is_tree": topology.is_tree(),
-            }
-        )
-    return rows
-
-
-def run_validation_matrix():
-    from repro.core import solve_meyerson
-
-    access = solve_meyerson(random_instance(300, seed=SEED), seed=SEED).topology
-    ba = BarabasiAlbertGenerator().generate(600, seed=SEED)
-    rows = []
-    for name, topology in (("buy-at-bulk-access", access), ("barabasi-albert", ba)):
-        for target in (router_access_target(), as_graph_target()):
-            report = validate_topology(topology, target, sample_size=30, seed=SEED)
-            rows.append(
-                {
-                    "topology": name,
-                    "target": target.name,
-                    "pass_fraction": round(report.pass_fraction, 2),
-                    "passed": report.passed,
-                }
-            )
-    return rows
-
-
-def test_arrival_order_ablation(benchmark):
-    rows = benchmark(run_arrival_order_ablation)
-    benchmark.extra_info["rows"] = rows
-    emit_rows(EXPERIMENT, "Meyerson arrival-order ablation", rows, slug="arrival_order")
-    # All variants keep the exponential tree structure; randomization is not
-    # what produces the degree shape.
-    assert all(row["tail"] != "power-law" for row in rows)
-
-
-def test_degree_constraint_ablation(benchmark):
-    rows = benchmark(run_degree_constraint_ablation)
-    benchmark.extra_info["rows"] = rows
-    emit_rows(EXPERIMENT, "router interface-limit ablation (FKP alpha=4)", rows, slug="degree_limits")
-    unconstrained = next(r for r in rows if r["max_degree_limit"] == "none")
-    tightest = next(r for r in rows if r["max_degree_limit"] == 4)
-    # Line-card limits truncate the tail: the observed maximum degree respects
-    # the cap and the power-law verdict disappears under the tightest cap.
-    assert tightest["observed_max_degree"] <= 4
-    assert unconstrained["observed_max_degree"] > 4 * tightest["observed_max_degree"]
-    assert tightest["tail"] != "power-law"
-    assert all(row["is_tree"] for row in rows)
-
-
-def test_centrality_ablation(benchmark):
-    rows = benchmark(run_centrality_ablation)
-    benchmark.extra_info["rows"] = rows
-    emit_rows(EXPERIMENT, "FKP centrality-definition ablation (alpha=4)", rows, slug="centrality")
-    assert all(row["is_tree"] for row in rows)
-    # The centrality definition materially changes the resulting degree
-    # structure — exactly the causal sensitivity the paper wants formulations
-    # to expose: hop-to-root gives the heavy-tailed hubs of the FKP theorem,
-    # Euclidean distance-to-root behaves like the exponential regime, and
-    # subtree-load centrality collapses toward a star.
-    by_centrality = {row["centrality"]: row for row in rows}
-    assert by_centrality["hop-to-root"]["max_degree"] > by_centrality["euclidean-to-root"]["max_degree"]
-    assert by_centrality["subtree-load"]["max_degree"] >= by_centrality["hop-to-root"]["max_degree"]
-    assert by_centrality["euclidean-to-root"]["tail"] != "power-law"
-
-
-def test_validation_matrix(benchmark):
-    rows = benchmark(run_validation_matrix)
-    benchmark.extra_info["rows"] = rows
-    emit_rows(EXPERIMENT, "reference-signature validation matrix", rows, slug="validation")
-    by_key = {(row["topology"], row["target"]): row for row in rows}
-    # The optimization-driven access tree matches the router-access signature,
-    # not the AS-graph one; the degree-based baseline matches the AS-graph
-    # signature, not the router-access one.
-    assert by_key[("buy-at-bulk-access", "router-access")]["passed"]
-    assert not by_key[("buy-at-bulk-access", "as-graph")]["passed"]
-    assert by_key[("barabasi-albert", "as-graph")]["pass_fraction"] >= 0.8
-    assert not by_key[("barabasi-albert", "router-access")]["passed"]
+if __name__ == "__main__":
+    bench_main(EXPERIMENT)

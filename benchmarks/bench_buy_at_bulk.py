@@ -4,79 +4,21 @@ Paper claim: "the approximation method in [24] yields tree topologies with
 exponential node degree distributions" under fictitious-but-realistic cable
 parameters.
 
-The benchmark solves single-sink instances at several customer counts and
-placements with the Meyerson-style incremental algorithm and records, per
-instance: tree-ness, the tail verdict, the exponential rate, and the log-log
-vs log-linear CCDF fit quality (exponential ⇒ the log-linear fit wins).
+The sweep definition (placements × customer counts), the per-instance
+Meyerson solve, and the tree/tail gates live in
+:mod:`repro.experiments.suites.e2_buy_at_bulk`; this script drives them
+through the orchestration engine and writes ``BENCH_E2.json``.
 """
 
-import pytest
+from repro.experiments.reporting import bench_main, run_bench
 
-from _report import emit_rows
-from repro.core import random_instance, solve_meyerson
-from repro.metrics import (
-    ccdf_linear_fit_r2,
-    classify_tail,
-    topology_degree_ccdf,
-)
-from repro.workloads import buy_at_bulk_scenario
-
-SCENARIO = buy_at_bulk_scenario()
-CUSTOMER_COUNTS = SCENARIO.parameters["customer_counts"]
-SEED = SCENARIO.parameters["seed"]
-PLACEMENTS = SCENARIO.parameters["placements"]
+EXPERIMENT = "E2"
 
 
-def run_series():
-    rows = []
-    for placement in PLACEMENTS:
-        clustered = placement == "clustered"
-        for count in CUSTOMER_COUNTS:
-            instance = random_instance(count, seed=SEED + count, clustered=clustered)
-            solution = solve_meyerson(instance, seed=SEED + count)
-            degrees = solution.topology.degree_sequence()
-            ccdf = topology_degree_ccdf(solution.topology)
-            tail = classify_tail(degrees)
-            rows.append(
-                {
-                    "placement": placement,
-                    "customers": count,
-                    "is_tree": solution.topology.is_tree(),
-                    "max_degree": max(degrees),
-                    "tail_verdict": tail.verdict,
-                    "exponential_rate": round(tail.exponential.rate, 3),
-                    "r2_loglinear": round(ccdf_linear_fit_r2(ccdf, log_x=False, log_y=True), 3),
-                    "r2_loglog": round(ccdf_linear_fit_r2(ccdf, log_x=True, log_y=True), 3),
-                    "cost": round(solution.total_cost(), 1),
-                }
-            )
-    return rows
+def test_buy_at_bulk_degree_distribution():
+    """The smoke sweep passes the tree/exponential-tail gates."""
+    run_bench(EXPERIMENT, smoke=True)
 
 
-def test_buy_at_bulk_degree_distribution(benchmark):
-    rows = benchmark(run_series)
-    benchmark.extra_info["experiment"] = SCENARIO.experiment_id
-    benchmark.extra_info["rows"] = rows
-
-    emit_rows(
-        SCENARIO.experiment_id,
-        "buy-at-bulk access trees (Meyerson-style incremental)",
-        rows,
-    )
-
-    # Paper §4.2: solutions are trees ...
-    assert all(row["is_tree"] for row in rows)
-    # ... and none of them exhibits a power-law degree tail;
-    assert all(row["tail_verdict"] != "power-law" for row in rows)
-    # the majority are positively classified as exponential.
-    exponential = sum(1 for row in rows if row["tail_verdict"] == "exponential")
-    assert exponential >= len(rows) / 2
-    # No giant hub: max degree stays far below the customer count.
-    assert all(row["max_degree"] < row["customers"] / 4 for row in rows)
-
-
-def test_meyerson_solver_speed(benchmark):
-    """Time a single 400-customer solve (the largest point in the series)."""
-    instance = random_instance(max(CUSTOMER_COUNTS), seed=SEED)
-    solution = benchmark(solve_meyerson, instance, SEED)
-    assert solution.is_feasible()
+if __name__ == "__main__":
+    bench_main(EXPERIMENT)

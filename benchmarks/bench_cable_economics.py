@@ -6,128 +6,23 @@ Paper claims exercised here:
   traffic onto shared high-capacity cables, so aggregation-based algorithms
   beat the naive direct-star provisioning;
 * with a purely linear cost structure (no economies of scale) that advantage
-  disappears — the ablation that shows the cable economics, not the algorithm,
-  is what produces tree-like aggregation.
+  disappears — the ablation that shows the cable economics, not the
+  algorithm, is what produces tree-like aggregation.
+
+Both sub-tables (solver comparison, catalog ablation) are one engine sweep in
+:mod:`repro.experiments.suites.e3_cable_economics`; this script drives it and
+writes ``BENCH_E3.json``.
 """
 
-import pytest
+from repro.experiments.reporting import bench_main, run_bench
 
-from _report import emit_rows
-from repro.core import (
-    random_instance,
-    solve_direct_star,
-    solve_greedy_aggregation,
-    solve_meyerson,
-    solve_mst_routing,
-    trivial_lower_bound,
-)
-from repro.economics import default_catalog, linear_catalog
-from repro.routing import load_concentration
-from repro.workloads import cable_economics_scenario
-
-SCENARIO = cable_economics_scenario()
-CUSTOMER_COUNTS = SCENARIO.parameters["customer_counts"]
-SEED = SCENARIO.parameters["seed"]
-
-SOLVERS = {
-    "meyerson": lambda instance: solve_meyerson(instance, seed=SEED),
-    "greedy": solve_greedy_aggregation,
-    "mst": solve_mst_routing,
-    "star": solve_direct_star,
-}
+EXPERIMENT = "E3"
 
 
-def run_algorithm_table():
-    """Cost of each algorithm (normalized by the lower bound) per instance size."""
-    rows = []
-    for count in CUSTOMER_COUNTS:
-        instance = random_instance(count, seed=SEED + count, catalog=default_catalog())
-        bound = trivial_lower_bound(instance)
-        row = {"customers": count, "lower_bound": round(bound, 1)}
-        for name, solver in SOLVERS.items():
-            solution = solver(instance)
-            row[f"{name}_cost"] = round(solution.total_cost(), 1)
-            row[f"{name}_ratio"] = round(solution.total_cost() / bound, 2)
-        rows.append(row)
-    return rows
+def test_cable_economics():
+    """The smoke sweep passes the aggregation-vs-star and ablation gates."""
+    run_bench(EXPERIMENT, smoke=True)
 
 
-def run_catalog_ablation():
-    """Aggregation vs star under the bulk catalog and under linear costs."""
-    rows = []
-    for label, catalog in [("default", default_catalog()), ("linear", linear_catalog())]:
-        for count in (100, 200):
-            instance = random_instance(count, seed=SEED + count, catalog=catalog)
-            aggregated = solve_greedy_aggregation(instance)
-            star = solve_direct_star(instance)
-            rows.append(
-                {
-                    "catalog": label,
-                    "customers": count,
-                    "aggregation_cost": round(aggregated.total_cost(), 1),
-                    "star_cost": round(star.total_cost(), 1),
-                    "aggregation_wins": aggregated.total_cost() < star.total_cost(),
-                    "traffic_concentration": round(
-                        load_concentration(aggregated.topology, top_fraction=0.1), 3
-                    ),
-                }
-            )
-    return rows
-
-
-def test_algorithm_comparison(benchmark):
-    rows = benchmark(run_algorithm_table)
-    benchmark.extra_info["experiment"] = SCENARIO.experiment_id
-    benchmark.extra_info["rows"] = rows
-
-    emit_rows(
-        SCENARIO.experiment_id,
-        "buy-at-bulk algorithm comparison (cost / lower bound)",
-        rows,
-        slug="algorithms",
-    )
-
-    for row in rows:
-        # Every aggregation-based algorithm beats the naive star at every size.
-        assert row["meyerson_cost"] < row["star_cost"]
-        assert row["greedy_cost"] < row["star_cost"]
-        assert row["mst_cost"] < row["star_cost"]
-        # And stays within a size-independent constant factor of the lower bound.
-        assert row["meyerson_ratio"] < 20.0
-
-
-def test_economies_of_scale_ablation(benchmark):
-    rows = benchmark(run_catalog_ablation)
-    benchmark.extra_info["rows"] = rows
-
-    emit_rows(
-        SCENARIO.experiment_id,
-        "economies-of-scale ablation (aggregation vs direct star)",
-        rows,
-        slug="economies_of_scale",
-    )
-
-    with_scale = [row for row in rows if row["catalog"] == "default"]
-    without_scale = [row for row in rows if row["catalog"] == "linear"]
-    # With economies of scale aggregation wins; with linear costs it cannot beat the star.
-    assert all(row["aggregation_wins"] for row in with_scale)
-    assert all(not row["aggregation_wins"] for row in without_scale)
-
-
-def test_meyerson_constant_factor_across_sizes(benchmark):
-    """Approximation ratio (vs the trivial lower bound) does not grow with size."""
-
-    def ratios():
-        values = []
-        for count in CUSTOMER_COUNTS:
-            instance = random_instance(count, seed=SEED + count)
-            values.append(
-                solve_meyerson(instance, seed=SEED).total_cost() / trivial_lower_bound(instance)
-            )
-        return values
-
-    values = benchmark(ratios)
-    benchmark.extra_info["ratios"] = [round(v, 2) for v in values]
-    # The ratio of the largest instance is within 2x of the smallest instance's —
-    # i.e. no systematic growth with problem size (constant-factor behaviour).
-    assert values[-1] <= 2.0 * values[0]
+if __name__ == "__main__":
+    bench_main(EXPERIMENT)

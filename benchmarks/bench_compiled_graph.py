@@ -9,23 +9,20 @@ verbatim from the seed), on a 1000-node GLP topology:
 * customer→core demand routing, where the kernel invocation counters verify
   that one multi-source search replaces the per-customer single-source loop.
 
-Run directly (``python benchmarks/bench_compiled_graph.py``) or via pytest.
-Writes ``BENCH_compiled_graph.json`` at the repository root and a text table
-under ``benchmarks/results/``.
+Run directly (``python benchmarks/bench_compiled_graph.py``) for the full
+1000-node comparison with the >=5x speedup gates, or with ``--smoke`` for a
+smaller CI variant that keeps the exactness and search-count gates but skips
+the load-sensitive speedup thresholds.  Writes ``BENCH_compiled_graph.json``
+and a text table under ``benchmarks/results/``.
 """
 
 from __future__ import annotations
 
 import heapq
-import json
 import random
 import sys
-import time
-from pathlib import Path
 
-sys.path.insert(0, str(Path(__file__).parent))  # for _report when run directly
-
-from _report import emit_rows
+from repro.experiments.reporting import best_of, emit_rows, write_bench_json
 from repro.generators.glp import GLPGenerator
 from repro.metrics.resilience import removal_trace
 from repro.optimization.shortest_path import (
@@ -39,18 +36,17 @@ from repro.topology.node import NodeRole
 
 NUM_NODES = 1000
 CORE_COUNT = 50
+SMOKE_NUM_NODES = 400
+SMOKE_CORE_COUNT = 30
 SEED = 7
 REPEATS = 3
 
-REPO_ROOT = Path(__file__).resolve().parent.parent
-JSON_PATH = REPO_ROOT / "BENCH_compiled_graph.json"
 
-
-def build_topology():
-    topo = GLPGenerator().generate(NUM_NODES, seed=SEED)
+def build_topology(num_nodes: int, core_count: int):
+    topo = GLPGenerator().generate(num_nodes, seed=SEED)
     ranked = sorted(topo.nodes(), key=lambda n: topo.degree(n.node_id), reverse=True)
     for rank, node in enumerate(ranked):
-        if rank < CORE_COUNT:
+        if rank < core_count:
             node.role = NodeRole.CORE
         else:
             node.role = NodeRole.CUSTOMER
@@ -58,22 +54,16 @@ def build_topology():
     return topo
 
 
-def best_of(callable_, repeats=REPEATS):
-    best = float("inf")
-    result = None
-    for _ in range(repeats):
-        start = time.perf_counter()
-        result = callable_()
-        best = min(best, time.perf_counter() - start)
-    return best, result
-
-
 # ----------------------------------------------------------------------
 # Legacy kernels (seed implementations, object graph)
 # ----------------------------------------------------------------------
+def _default_weight(link):
+    return link.length if link.length > 0 else 1.0
+
+
 def legacy_dijkstra(topology, source, weight=None):
     if weight is None:
-        weight = lambda link: link.length if link.length > 0 else 1.0
+        weight = _default_weight
     distances = {source: 0.0}
     predecessors = {}
     visited = set()
@@ -223,23 +213,28 @@ def legacy_route_customer_demand_to_core(topology):
 # ----------------------------------------------------------------------
 # Benchmark body
 # ----------------------------------------------------------------------
-def run_benchmark():
-    topo = build_topology()
+def run_benchmark(smoke: bool = False):
+    core_count = SMOKE_CORE_COUNT if smoke else CORE_COUNT
+    repeats = 2 if smoke else REPEATS
+    topo = build_topology(SMOKE_NUM_NODES if smoke else NUM_NODES, core_count)
     topo.compiled()  # compile outside the timed regions
     rows = []
     results = {
+        "mode": "smoke" if smoke else "full",
         "topology": {
             "generator": "glp",
             "nodes": topo.num_nodes,
             "links": topo.num_links,
-            "cores": CORE_COUNT,
+            "cores": core_count,
             "seed": SEED,
-        }
+        },
     }
 
     # --- all-pairs shortest lengths -----------------------------------
-    t_matrix, _ = best_of(lambda: all_pairs_length_matrix(topo))
-    t_dicts, compiled_dicts = best_of(lambda: all_pairs_shortest_lengths(topo))
+    t_matrix, _ = best_of(lambda: all_pairs_length_matrix(topo), repeats=repeats)
+    t_dicts, compiled_dicts = best_of(
+        lambda: all_pairs_shortest_lengths(topo), repeats=repeats
+    )
     t_legacy, legacy_dicts = best_of(lambda: legacy_all_pairs(topo), repeats=1)
     assert compiled_dicts == legacy_dicts, "all-pairs results diverge from legacy"
     results["all_pairs"] = {
@@ -272,7 +267,8 @@ def run_benchmark():
         t_new, trace = best_of(
             lambda: removal_trace(
                 topo, strategy=strategy, steps=20, max_fraction=0.5, seed=3
-            )
+            ),
+            repeats=repeats,
         )
         t_old, legacy = best_of(
             lambda: legacy_removal_trace(
@@ -302,23 +298,25 @@ def run_benchmark():
     # --- customer→core routing: search counts --------------------------
     legacy_routing = legacy_route_customer_demand_to_core(topo)
     KERNEL_COUNTERS.reset()
-    t_route, result = best_of(lambda: route_customer_demand_to_core(topo))
+    t_route, result = best_of(
+        lambda: route_customer_demand_to_core(topo), repeats=repeats
+    )
     multi = KERNEL_COUNTERS.multi_source
     single = KERNEL_COUNTERS.single_source
-    assert multi == REPEATS and single == 0, (
+    assert multi == repeats and single == 0, (
         f"expected 1 multi-source search per run and no single-source runs, "
-        f"got multi={multi} single={single} over {REPEATS} runs"
+        f"got multi={multi} single={single} over {repeats} runs"
     )
     assert result.routed_volume == legacy_routing["routed"]
     t_route_legacy, _ = best_of(
         lambda: legacy_route_customer_demand_to_core(topo), repeats=1
     )
     results["route_customer_demand_to_core"] = {
-        "customers": topo.num_nodes - CORE_COUNT,
-        "cores": CORE_COUNT,
+        "customers": topo.num_nodes - core_count,
+        "cores": core_count,
         "legacy_single_source_searches": legacy_routing["searches"],
         "legacy_distance_queries": legacy_routing["queries"],
-        "compiled_multi_source_searches_per_run": multi // REPEATS,
+        "compiled_multi_source_searches_per_run": multi // repeats,
         "compiled_single_source_searches_per_run": single,
         "legacy_seconds": t_route_legacy,
         "compiled_seconds": t_route,
@@ -336,10 +334,13 @@ def run_benchmark():
     return results, rows
 
 
-def check_acceptance(results):
-    assert results["all_pairs"]["speedup_matrix"] >= 5.0, results["all_pairs"]
+def check_acceptance(results, smoke: bool = False):
+    # Speedup thresholds: full gates at n=1000; a laxer floor at the smaller,
+    # load-sensitive CI size so regressions to the object-graph path still fail.
+    floor = 2.0 if smoke else 5.0
+    assert results["all_pairs"]["speedup_matrix"] >= floor, results["all_pairs"]
     for strategy in ("random", "targeted"):
-        assert results["removal_trace"][strategy]["speedup"] >= 5.0, results[
+        assert results["removal_trace"][strategy]["speedup"] >= floor, results[
             "removal_trace"
         ]
     routing = results["route_customer_demand_to_core"]
@@ -348,18 +349,24 @@ def check_acceptance(results):
     assert routing["legacy_distance_queries"] == routing["customers"] * routing["cores"]
 
 
-def test_compiled_graph_backend():
-    results, rows = run_benchmark()
-    check_acceptance(results)
-    JSON_PATH.write_text(json.dumps(results, indent=2) + "\n")
+def main(smoke: bool = False):
+    results, rows = run_benchmark(smoke=smoke)
+    check_acceptance(results, smoke=smoke)
+    path = write_bench_json("compiled_graph", results)
     emit_rows(
         "E-compiled",
-        "compiled CSR kernels vs legacy object-graph kernels (1000-node GLP)",
+        "compiled CSR kernels vs legacy object-graph kernels (%d-node GLP)"
+        % results["topology"]["nodes"],
         rows,
         slug="compiled_graph",
     )
+    print(f"\nwrote {path}")
+
+
+def test_compiled_graph_backend():
+    """Exactness and search-count gates at the CI (smoke) size."""
+    main(smoke=True)
 
 
 if __name__ == "__main__":
-    test_compiled_graph_backend()
-    print(f"\nwrote {JSON_PATH}")
+    main(smoke="--smoke" in sys.argv[1:])

@@ -4,76 +4,22 @@ Paper claim: tuning alpha (distance weight vs centrality) moves the degree
 distribution of the grown tree from a star (tiny alpha), through power-law
 degrees (intermediate alpha), to exponential tails (alpha ≳ sqrt(n)).
 
-The benchmark regenerates the alpha sweep at n = 1000 and records, per alpha:
-maximum degree, hub share, the measured tail verdict, and the log-log /
-log-linear CCDF fit quality.  Run with ``pytest benchmarks/ --benchmark-only``.
+The sweep definition, per-alpha measurement, and acceptance gates live in
+:mod:`repro.experiments.suites.e1_fkp_phase`; this script fans the sweep out
+over the orchestration engine (``--jobs N``, ``--smoke`` for the CI grid),
+renders the experiment table, and writes ``BENCH_E1.json``.  Per-task
+wall-clock lives in the ``RESULTS/E1/`` manifests' timing fields.
 """
 
-import pytest
+from repro.experiments.reporting import bench_main, run_bench
 
-from _report import emit_rows
-from repro.core import alpha_regime, generate_fkp_tree
-from repro.metrics import (
-    ccdf_linear_fit_r2,
-    classify_tail,
-    max_degree_share,
-    topology_degree_ccdf,
-)
-from repro.workloads import fkp_phase_scenario
-
-SCENARIO = fkp_phase_scenario()
-NUM_NODES = SCENARIO.parameters["num_nodes"]
-ALPHAS = SCENARIO.parameters["alphas"]
-SEED = SCENARIO.parameters["seed"]
+EXPERIMENT = "E1"
 
 
-def sweep_rows():
-    """One row per alpha: the series the experiment reports."""
-    rows = []
-    for alpha in ALPHAS:
-        tree = generate_fkp_tree(NUM_NODES, alpha, seed=SEED)
-        degrees = tree.degree_sequence()
-        ccdf = topology_degree_ccdf(tree)
-        tail = classify_tail(degrees)
-        rows.append(
-            {
-                "alpha": round(alpha, 2),
-                "predicted_regime": alpha_regime(alpha, NUM_NODES),
-                "max_degree": max(degrees),
-                "hub_share": round(max_degree_share(tree), 3),
-                "measured_tail": tail.verdict,
-                "power_law_exponent": round(tail.power_law.exponent, 2),
-                "exponential_rate": round(tail.exponential.rate, 3),
-                "r2_loglog": round(ccdf_linear_fit_r2(ccdf, log_x=True, log_y=True), 3),
-                "r2_loglinear": round(ccdf_linear_fit_r2(ccdf, log_x=False, log_y=True), 3),
-            }
-        )
-    return rows
+def test_fkp_phase_diagram():
+    """The smoke sweep passes the experiment's regime-structure gates."""
+    run_bench(EXPERIMENT, smoke=True)
 
 
-def test_fkp_phase_diagram(benchmark):
-    """Time one full alpha sweep and verify the regime structure holds."""
-    rows = benchmark(sweep_rows)
-    benchmark.extra_info["experiment"] = SCENARIO.experiment_id
-    benchmark.extra_info["rows"] = rows
-
-    emit_rows(SCENARIO.experiment_id, "FKP phase diagram (n=%d)" % NUM_NODES, rows)
-
-    by_regime = {row["predicted_regime"]: row for row in rows}
-    # Star regime: the root grabs ~half of all endpoints.
-    assert by_regime["star"]["hub_share"] > 0.4
-    # Exponential regime: bounded degrees, no power-law verdict.
-    assert by_regime["exponential"]["max_degree"] < 40
-    assert by_regime["exponential"]["measured_tail"] != "power-law"
-    # Intermediate regime has a much heavier tail than the exponential one.
-    power_law_rows = [r for r in rows if r["predicted_regime"] == "power-law"]
-    assert max(r["max_degree"] for r in power_law_rows) > 3 * by_regime["exponential"]["max_degree"]
-    # At least one intermediate-alpha tree is classified as power-law.
-    assert any(r["measured_tail"] == "power-law" for r in power_law_rows)
-
-
-def test_fkp_growth_throughput(benchmark):
-    """Raw growth speed at the experiment's size (single power-law-regime tree)."""
-    tree = benchmark(generate_fkp_tree, NUM_NODES, 4.0, SEED)
-    assert tree.is_tree()
-    benchmark.extra_info["nodes"] = NUM_NODES
+if __name__ == "__main__":
+    bench_main(EXPERIMENT)

@@ -2,96 +2,24 @@
 
 Paper claim: a generator tuned to match one metric (the degree distribution)
 "matches observations on the chosen metrics but looks very dissimilar on
-others".  The benchmark generates same-size topologies from the HOT models and
-from every registered descriptive baseline, evaluates the full metric suite,
-and checks the separations the paper predicts: degree-based baselines and the
-intermediate-alpha FKP tree agree on the power-law tail yet disagree sharply
-on clustering, distortion, and the robust-yet-fragile gap.
+others".
+
+Each model (three HOT constructions plus every registered descriptive
+baseline) is one engine task evaluating the full metric suite — so the
+comparison parallelizes per model; the cross-model disagreement gates live
+in :mod:`repro.experiments.suites.e5_generator_comparison`.  Writes
+``BENCH_E5.json``.
 """
 
-import pytest
+from repro.experiments.reporting import bench_main, run_bench
 
-from _report import emit_text
-from repro.core import generate_fkp_tree, random_instance, solve_meyerson
-from repro.generators import available_generators, make_generator
-from repro.metrics import compare_topologies, metric_disagreement, report_table
-from repro.workloads import generator_comparison_scenario
-
-SCENARIO = generator_comparison_scenario()
-NUM_NODES = SCENARIO.parameters["num_nodes"]
-SEED = SCENARIO.parameters["seed"]
+EXPERIMENT = "E5"
 
 
-def build_topologies():
-    topologies = {
-        "hot:fkp-powerlaw": generate_fkp_tree(NUM_NODES, alpha=4.0, seed=SEED),
-        "hot:fkp-exponential": generate_fkp_tree(
-            NUM_NODES, alpha=2.0 * NUM_NODES**0.5, seed=SEED
-        ),
-        "hot:buy-at-bulk": solve_meyerson(
-            random_instance(NUM_NODES - 1, seed=SEED), seed=SEED
-        ).topology,
-    }
-    for name in SCENARIO.parameters["baselines"]:
-        if name in available_generators():
-            topologies[f"desc:{name}"] = make_generator(name).generate(NUM_NODES, seed=SEED)
-    return topologies
+def test_generator_comparison():
+    """The smoke sweep passes the metric-separation gates."""
+    run_bench(EXPERIMENT, smoke=True)
 
 
-def run_comparison():
-    topologies = build_topologies()
-    reports = compare_topologies(topologies, sample_size=40, seed=SEED)
-    return {report.name: report for report in reports}
-
-
-def test_generator_comparison(benchmark):
-    by_name = benchmark(run_comparison)
-    reports = list(by_name.values())
-    benchmark.extra_info["experiment"] = SCENARIO.experiment_id
-    benchmark.extra_info["metrics"] = {r.name: r.metrics for r in reports}
-
-    columns = [
-        "mean_degree",
-        "max_degree",
-        "tail_verdict_code",
-        "avg_clustering",
-        "avg_path_hops",
-        "distortion",
-        "cycle_edge_fraction",
-        "assortativity",
-        "fragility_gap",
-    ]
-    emit_text(
-        SCENARIO.experiment_id,
-        "optimization-driven vs descriptive generators",
-        report_table(reports, columns=columns),
-    )
-
-    ba = by_name["desc:barabasi-albert"]
-    fkp_pl = by_name["hot:fkp-powerlaw"]
-    buyatbulk = by_name["hot:buy-at-bulk"]
-
-    # Agreement on the "chosen metric": both BA and intermediate-alpha FKP
-    # show heavy-tailed degrees (power-law or at worst inconclusive).
-    assert ba.get("tail_verdict_code") >= 0
-    assert fkp_pl.get("tail_verdict_code") >= 0
-    # ... but disagreement everywhere else:
-    # HOT designs are trees (no cycles, distortion 1), BA is not.
-    assert fkp_pl.get("cycle_edge_fraction") == pytest.approx(0.0)
-    assert buyatbulk.get("cycle_edge_fraction") == pytest.approx(0.0)
-    assert ba.get("cycle_edge_fraction") > 0.2
-    assert ba.get("distortion") > 1.05
-    # Clustering separates the families as well.
-    assert ba.get("avg_clustering") >= fkp_pl.get("avg_clustering")
-    # The disagreement across the ensemble is large even though sizes match.
-    assert metric_disagreement(reports, "avg_path_hops") > 1.0
-    assert metric_disagreement(reports, "cycle_edge_fraction") > 0.3
-
-
-def test_metric_suite_cost(benchmark):
-    """Time the full metric suite on one mid-size topology (harness overhead)."""
-    from repro.metrics import evaluate_topology
-
-    topo = generate_fkp_tree(NUM_NODES, alpha=4.0, seed=SEED)
-    report = benchmark(evaluate_topology, topo, "fkp", False, 30, SEED)
-    assert report.get("num_nodes") == NUM_NODES
+if __name__ == "__main__":
+    bench_main(EXPERIMENT)

@@ -18,17 +18,12 @@ gates (FKP >= 10x and GLP >= 5x at n=10000, bit-identical outputs), or with
 
 from __future__ import annotations
 
-import json
 import random
 import sys
-import time
-from pathlib import Path
 from typing import List, Optional
 
-sys.path.insert(0, str(Path(__file__).parent))  # for _report when run directly
-
-from _report import emit_rows
 from repro.core.fkp import FKPModel, FKPParameters
+from repro.experiments.reporting import emit_rows, timed, write_bench_json
 from repro.generators import (
     BarabasiAlbertGenerator,
     GLPGenerator,
@@ -39,9 +34,6 @@ from repro.generators import (
 from repro.generators.plrg import power_law_degree_sequence
 from repro.topology.compiled import KERNEL_COUNTERS
 from repro.topology.graph import Topology
-
-REPO_ROOT = Path(__file__).resolve().parent.parent
-JSON_PATH = REPO_ROOT / "BENCH_generators.json"
 
 SEED = 7
 FKP_ALPHA = 4.0  # power-law regime, the paper's headline case
@@ -210,12 +202,6 @@ def legacy_plrg_generate(generator: PLRGGenerator, num_nodes: int, seed: int) ->
 # ----------------------------------------------------------------------
 # Benchmark body
 # ----------------------------------------------------------------------
-def timed(callable_):
-    start = time.perf_counter()
-    result = callable_()
-    return time.perf_counter() - start, result
-
-
 def edge_set(topo):
     return sorted(map(str, topo.link_keys()))
 
@@ -353,14 +339,14 @@ def main(smoke: bool = False):
     results, rows = run_benchmark(smoke=smoke)
     if not smoke:
         check_acceptance(results)
-    JSON_PATH.write_text(json.dumps(results, indent=2) + "\n")
+    path = write_bench_json("generators", results)
     emit_rows(
         "E-generators",
         "generation engine (Fenwick sampling + spatial grids) vs seed growth loops",
         rows,
         slug="generators",
     )
-    print(f"\nwrote {JSON_PATH}")
+    print(f"\nwrote {path}")
 
 
 if __name__ == "__main__":

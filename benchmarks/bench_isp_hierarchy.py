@@ -4,117 +4,21 @@ Paper claim: "the size, location and connectivity of the ISP will depend
 largely on the number and location of its customers", and the design
 decomposes into backbone (WAN) / distribution (MAN) / customer (LAN) levels.
 
-The benchmark designs ISPs over growing city sets (and under both objective
-formulations) and records the emergent hierarchy: level sizes, backbone
-fraction, customer depth, and build-out cost.  It also ablates the demand
-model (gravity vs uniform) on backbone provisioning.
+The sweep (objectives × city counts, plus the gravity-vs-uniform demand
+ablation) and its monotone-growth gates live in
+:mod:`repro.experiments.suites.e4_isp_hierarchy`; this script drives them
+through the orchestration engine and writes ``BENCH_E4.json``.
 """
 
-import pytest
+from repro.experiments.reporting import bench_main, run_bench
 
-from _report import emit_rows, emit_text
-from repro.core import ISPGenerator, ISPParameters
-from repro.geography import gravity_demand, uniform_demand
-from repro.routing import assign_demand
-from repro.topology import summarize_hierarchy
-from repro.workloads import isp_hierarchy_scenario, scaled_population
-
-SCENARIO = isp_hierarchy_scenario()
-CITY_COUNTS = SCENARIO.parameters["city_counts"]
-SEED = SCENARIO.parameters["seed"]
-SCALE = SCENARIO.parameters["customers_per_city_scale"]
+EXPERIMENT = "E4"
 
 
-def design_isp(num_cities: int, objective: str):
-    population = scaled_population(num_cities, seed=SEED)
-    parameters = ISPParameters(
-        num_cities=num_cities,
-        coverage_fraction=0.7,
-        customers_per_city_scale=SCALE,
-        objective=objective,
-        seed=SEED,
-    )
-    return ISPGenerator(population=population, parameters=parameters).generate()
+def test_isp_hierarchy():
+    """The smoke sweep passes the hierarchy/monotone-growth gates."""
+    run_bench(EXPERIMENT, smoke=True)
 
 
-def run_hierarchy_table():
-    rows = []
-    for objective in SCENARIO.parameters["objectives"]:
-        for num_cities in CITY_COUNTS:
-            design = design_isp(num_cities, objective)
-            topo = design.topology
-            summary = summarize_hierarchy(topo)
-            rows.append(
-                {
-                    "objective": objective,
-                    "cities": num_cities,
-                    "pops": design.pop_count(),
-                    "nodes": topo.num_nodes,
-                    "links": topo.num_links,
-                    "core": summary.count("core"),
-                    "distribution": summary.count("distribution")
-                    + summary.count("access"),
-                    "customers": summary.count("customer"),
-                    "backbone_fraction": round(summary.backbone_fraction, 3),
-                    "customer_depth": round(summary.mean_customer_depth, 2),
-                    "total_cost": round(topo.total_cost(), 1),
-                }
-            )
-    return rows
-
-
-def test_isp_hierarchy(benchmark):
-    rows = benchmark(run_hierarchy_table)
-    benchmark.extra_info["experiment"] = SCENARIO.experiment_id
-    benchmark.extra_info["rows"] = rows
-
-    emit_rows(SCENARIO.experiment_id, "single-ISP hierarchy vs served population", rows)
-
-    cost_rows = [r for r in rows if r["objective"] == "cost"]
-    # A three-level hierarchy emerges at every size.
-    for row in rows:
-        assert row["core"] > 0 and row["distribution"] > 0 and row["customers"] > 0
-    # More cities -> more PoPs, more nodes, higher cost (monotone growth).
-    assert all(a["pops"] <= b["pops"] for a, b in zip(cost_rows, cost_rows[1:]))
-    assert all(a["nodes"] < b["nodes"] for a, b in zip(cost_rows, cost_rows[1:]))
-    assert all(a["total_cost"] < b["total_cost"] for a, b in zip(cost_rows, cost_rows[1:]))
-    # The backbone remains a small fraction of the network (hierarchy, not mesh).
-    assert all(row["backbone_fraction"] < 0.5 for row in rows)
-    # The profit formulation never enters more cities than the cost formulation.
-    for cost_row in cost_rows:
-        profit_row = next(
-            r for r in rows if r["objective"] == "profit" and r["cities"] == cost_row["cities"]
-        )
-        assert profit_row["pops"] <= cost_row["pops"]
-
-
-def test_demand_model_ablation(benchmark):
-    """Gravity vs uniform demand: gravity concentrates backbone load unevenly."""
-
-    def run():
-        design = design_isp(15, "cost")
-        backbone_nodes = set(design.backbone_nodes())
-        backbone = design.topology.subgraph(backbone_nodes, name="backbone")
-        cities = [design.population.city(name) for name in design.pop_cities]
-        endpoint_map = {c.name: f"core:{c.name}" for c in cities}
-        results = {}
-        for label, matrix in [
-            ("gravity", gravity_demand(cities, total_volume=1000.0)),
-            ("uniform", uniform_demand([c.name for c in cities], total_volume=1000.0)),
-        ]:
-            assign_demand(backbone, matrix, endpoint_map=endpoint_map)
-            loads = sorted((link.load for link in backbone.links()), reverse=True)
-            total = sum(loads) or 1.0
-            top_share = sum(loads[: max(1, len(loads) // 10)]) / total
-            results[label] = round(top_share, 3)
-        return results
-
-    results = benchmark(run)
-    benchmark.extra_info["top_decile_load_share"] = results
-    emit_text(
-        SCENARIO.experiment_id,
-        "demand-model ablation",
-        f"top-decile backbone load share: {results}",
-        slug="demand_ablation",
-    )
-    assert results["gravity"] >= results["uniform"] - 0.05
+if __name__ == "__main__":
+    bench_main(EXPERIMENT)

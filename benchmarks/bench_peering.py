@@ -5,94 +5,23 @@ Paper claims exercised here:
 * interconnecting independently designed ISPs at shared cities yields the AS
   graph, whose node count/degree structure is a by-product of per-ISP
   optimization plus peering policy;
-* an AS's degree tracks its geographic coverage (number of PoP cities) — a
-  causal, economically grounded explanation of AS degree;
-* router-level and AS-level graphs are different objects produced by different
-  formulations (the paper's §3.2 point about different mechanisms).
+* an AS's degree tracks its geographic coverage (number of PoP cities);
+* router-level and AS-level graphs are different objects produced by
+  different formulations.
+
+The sweep over ISP counts and the coverage/degree gates live in
+:mod:`repro.experiments.suites.e6_peering`.  Writes ``BENCH_E6.json``.
 """
 
-import pytest
+from repro.experiments.reporting import bench_main, run_bench
 
-from _report import emit_rows
-from repro.core import InternetGenerator, PeeringPolicy
-from repro.metrics import classify_tail, degree_statistics
-from repro.workloads import peering_scenario
-
-SCENARIO = peering_scenario()
-ISP_COUNTS = SCENARIO.parameters["isp_counts"]
-NUM_CITIES = SCENARIO.parameters["num_cities"]
-SEED = SCENARIO.parameters["seed"]
+EXPERIMENT = "E6"
 
 
-def build_internet(num_isps: int):
-    generator = InternetGenerator(
-        num_isps=num_isps,
-        num_cities=NUM_CITIES,
-        policy=PeeringPolicy(min_shared_cities=1, probability=0.7),
-        seed=SEED,
-    )
-    return generator.generate()
+def test_peering_as_graph():
+    """The smoke sweep passes the coverage-degree and growth gates."""
+    run_bench(EXPERIMENT, smoke=True)
 
 
-def coverage_degree_correlation(internet) -> float:
-    pairs = [
-        (internet.coverage(name), internet.as_degree(name)) for name in internet.isps
-    ]
-    n = len(pairs)
-    mean_x = sum(x for x, _ in pairs) / n
-    mean_y = sum(y for _, y in pairs) / n
-    sxx = sum((x - mean_x) ** 2 for x, _ in pairs)
-    syy = sum((y - mean_y) ** 2 for _, y in pairs)
-    sxy = sum((x - mean_x) * (y - mean_y) for x, y in pairs)
-    if sxx == 0 or syy == 0:
-        return 0.0
-    return sxy / (sxx * syy) ** 0.5
-
-
-def run_series():
-    rows = []
-    for num_isps in ISP_COUNTS:
-        internet = build_internet(num_isps)
-        as_graph = internet.as_graph
-        stats = degree_statistics(as_graph)
-        merged = internet.router_level_graph()
-        rows.append(
-            {
-                "isps": num_isps,
-                "as_links": as_graph.num_links,
-                "as_mean_degree": round(stats.mean, 2),
-                "as_max_degree": stats.maximum,
-                "as_tail": classify_tail(as_graph.degree_sequence()).verdict,
-                "coverage_degree_corr": round(coverage_degree_correlation(internet), 3),
-                "router_nodes": merged.num_nodes,
-                "router_links": merged.num_links,
-            }
-        )
-    return rows
-
-
-def test_peering_as_graph(benchmark):
-    rows = benchmark(run_series)
-    benchmark.extra_info["experiment"] = SCENARIO.experiment_id
-    benchmark.extra_info["rows"] = rows
-
-    emit_rows(
-        SCENARIO.experiment_id,
-        "AS graphs from interconnected optimization-designed ISPs",
-        rows,
-    )
-
-    for row in rows:
-        # AS degree is strongly driven by geographic coverage.
-        assert row["coverage_degree_corr"] > 0.3
-        # The router-level graph is a much larger, structurally different object.
-        assert row["router_nodes"] > row["isps"]
-        assert row["router_links"] >= row["as_links"]
-    # AS graphs grow with the number of ISPs.
-    assert all(a["as_links"] < b["as_links"] for a, b in zip(rows, rows[1:]))
-
-
-def test_internet_generation_speed(benchmark):
-    """Time generating the mid-size internetwork (backbones only)."""
-    internet = benchmark(build_internet, ISP_COUNTS[1])
-    assert internet.num_ases() == ISP_COUNTS[1]
+if __name__ == "__main__":
+    bench_main(EXPERIMENT)

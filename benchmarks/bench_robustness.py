@@ -1,97 +1,25 @@
 """E7 — Robust-yet-fragile behaviour of HOT designs (paper §3.1).
 
-Paper claim: HOT systems achieve "high performance [and] apparently simple and
-robust external behavior, with the risk of hopefully rare but potentially
+Paper claim: HOT systems achieve "high performance [and] apparently simple
+and robust external behavior, with the risk of hopefully rare but potentially
 catastrophic cascading failures initiated by possibly quite small
 perturbations".  Operationally: optimization-driven access trees tolerate
-random node failures (most nodes are leaves) but collapse when their few
-high-degree aggregation hubs are targeted, while a degree-matched random mesh
-shows a much smaller gap.  The footnote-7 redundancy variant narrows the gap.
+random node failures but collapse when their few aggregation hubs are
+targeted, while a degree-matched random mesh shows a much smaller gap.
+
+One engine task per subject topology; the cross-subject fragility gates live
+in :mod:`repro.experiments.suites.e7_robustness`.  Writes ``BENCH_E7.json``.
 """
 
-import pytest
+from repro.experiments.reporting import bench_main, run_bench
 
-from _report import emit_rows
-from repro.core import design_access_network, generate_fkp_tree, random_instance, solve_meyerson
-from repro.generators import ErdosRenyiGenerator
-from repro.metrics import robustness_summary
-from repro.workloads import robustness_scenario
-
-SCENARIO = robustness_scenario()
-NUM_NODES = SCENARIO.parameters["num_nodes"]
-SEED = SCENARIO.parameters["seed"]
-MAX_FRACTION = SCENARIO.parameters["max_fraction"]
+EXPERIMENT = "E7"
 
 
-def build_subjects():
-    """The topologies whose failure response the experiment compares."""
-    subjects = {
-        "fkp-tree": generate_fkp_tree(NUM_NODES, alpha=4.0, seed=SEED),
-        "buy-at-bulk-tree": solve_meyerson(
-            random_instance(NUM_NODES - 1, seed=SEED), seed=SEED
-        ).topology,
-        "metro-tree": design_access_network(
-            NUM_NODES // 2, seed=SEED, redundancy=False
-        ).topology,
-        "metro-with-redundancy": design_access_network(
-            NUM_NODES // 2, seed=SEED, redundancy=True
-        ).topology,
-        "random-mesh": ErdosRenyiGenerator(target_mean_degree=4.0).generate(
-            NUM_NODES, seed=SEED
-        ),
-    }
-    return subjects
+def test_robust_yet_fragile():
+    """The smoke sweep passes the robust-yet-fragile gates."""
+    run_bench(EXPERIMENT, smoke=True)
 
 
-def run_robustness_table():
-    rows = []
-    for name, topology in build_subjects().items():
-        summary = robustness_summary(
-            topology, steps=8, max_fraction=MAX_FRACTION, seed=SEED
-        )
-        rows.append(
-            {
-                "topology": name,
-                "nodes": topology.num_nodes,
-                "random_auc": round(summary["random_auc"], 3),
-                "targeted_auc": round(summary["targeted_auc"], 3),
-                "fragility_gap": round(summary["fragility_gap"], 3),
-            }
-        )
-    return rows
-
-
-def test_robust_yet_fragile(benchmark):
-    rows = benchmark(run_robustness_table)
-    benchmark.extra_info["experiment"] = SCENARIO.experiment_id
-    benchmark.extra_info["rows"] = rows
-
-    emit_rows(
-        SCENARIO.experiment_id,
-        "random vs targeted failures (largest-component AUC, removing up to %d%% of nodes)"
-        % int(100 * MAX_FRACTION),
-        rows,
-    )
-
-    by_name = {row["topology"]: row for row in rows}
-    # HOT designs survive random failures far better than targeted attacks ...
-    for name in ("fkp-tree", "buy-at-bulk-tree", "metro-tree", "metro-with-redundancy"):
-        assert by_name[name]["random_auc"] > by_name[name]["targeted_auc"]
-        assert by_name[name]["fragility_gap"] > 0.1
-    # ... while the degree-matched random mesh has a much smaller gap and keeps
-    # most of its connectivity even under targeted removal.
-    assert by_name["random-mesh"]["fragility_gap"] < by_name["fkp-tree"]["fragility_gap"]
-    for name in ("fkp-tree", "buy-at-bulk-tree", "metro-tree"):
-        assert by_name["random-mesh"]["targeted_auc"] > by_name[name]["targeted_auc"]
-    # Redundant concentrator uplinks (footnote 7) never make targeted attacks worse.
-    assert (
-        by_name["metro-with-redundancy"]["targeted_auc"]
-        >= by_name["metro-tree"]["targeted_auc"] - 0.05
-    )
-
-
-def test_robustness_analysis_speed(benchmark):
-    """Time the removal-trace analysis on one HOT tree."""
-    topology = generate_fkp_tree(NUM_NODES, alpha=4.0, seed=SEED)
-    summary = benchmark(robustness_summary, topology, 8, MAX_FRACTION, SEED)
-    assert set(summary) == {"random_auc", "targeted_auc", "fragility_gap"}
+if __name__ == "__main__":
+    bench_main(EXPERIMENT)

@@ -10,6 +10,8 @@ any Python::
     python -m repro.cli metrics fkp.json metro.json ba.json
     python -m repro.cli validate metro.json --target router-access
     python -m repro.cli scenarios
+    python -m repro.cli run E1 --jobs 4 --smoke
+    python -m repro.cli run all --jobs 8
 
 Topologies are written/read as the JSON format of
 :mod:`repro.topology.serialization`.
@@ -97,6 +99,41 @@ def build_parser() -> argparse.ArgumentParser:
     render.add_argument("--linear-x", action="store_true", help="linear (not log) degree axis for the CCDF")
 
     subparsers.add_parser("scenarios", help="list the paper's experiments (E1–E8)")
+
+    run = subparsers.add_parser(
+        "run",
+        help="run experiment sweeps through the orchestration engine",
+        description=(
+            "Expand a scenario's sweep grid into tasks, fan them out over worker "
+            "processes with deterministic per-task seeds (parallel and serial runs "
+            "are bit-identical), cache completed points content-addressed under "
+            "RESULTS/<scenario>/, and print the experiment's report tables."
+        ),
+    )
+    run.add_argument(
+        "experiments",
+        nargs="*",
+        metavar="EXPERIMENT",
+        help="experiment ids (E1..E9) or 'all' (required unless --list)",
+    )
+    run.add_argument("--jobs", type=int, default=1, help="worker processes (default 1)")
+    run.add_argument(
+        "--smoke", action="store_true", help="reduced sweep sizes for quick CI runs"
+    )
+    run.add_argument(
+        "--force", action="store_true", help="recompute every point, ignoring the cache"
+    )
+    run.add_argument(
+        "--results-dir",
+        default="RESULTS",
+        help="result store root (default RESULTS/); per-task records and manifests",
+    )
+    run.add_argument(
+        "--no-check", action="store_true", help="skip the experiment acceptance gates"
+    )
+    run.add_argument(
+        "--list", action="store_true", help="list runnable experiments and exit"
+    )
     return parser
 
 
@@ -181,6 +218,61 @@ def _cmd_render(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_run(args: argparse.Namespace) -> int:
+    from .experiments import available_experiments, get_suite, run_experiment
+    from .experiments.reporting import print_experiment
+
+    known = available_experiments()
+    if args.list:
+        for experiment_id in known:
+            print(f"{experiment_id}: {get_suite(experiment_id).title}")
+        return 0
+    if not args.experiments:
+        print("no experiments given (try 'all' or --list)", file=sys.stderr)
+        return 2
+    requested: List[str] = []
+    for name in args.experiments:
+        if name.lower() == "all":
+            requested.extend(known)
+        elif name in known:
+            requested.append(name)
+        else:
+            print(f"unknown experiment {name!r}; known: {', '.join(known)}", file=sys.stderr)
+            return 2
+    failed: List[str] = []
+    for experiment_id in dict.fromkeys(requested):  # de-dup, keep order
+        # Gates run after the tables are printed (check=False here), so a
+        # failing experiment still shows its report before the FAIL verdict.
+        result = run_experiment(
+            experiment_id,
+            smoke=args.smoke,
+            jobs=args.jobs,
+            results_dir=args.results_dir,
+            force=args.force,
+            check=False,
+        )
+        # emit=False: the CLI prints tables but leaves the benchmarks/results/
+        # text artifacts to the benchmark scripts.
+        print_experiment(result, emit=False)
+        if result.manifest_path is not None:
+            print(f"[{experiment_id}] manifest: {result.manifest_path}")
+        if not args.no_check:
+            suite = get_suite(experiment_id)
+            if suite.check is not None:
+                try:
+                    suite.check(result.tables, args.smoke)
+                    result.gates_checked = True
+                    print(f"[{experiment_id}] gates: PASS")
+                except AssertionError as error:
+                    failed.append(experiment_id)
+                    detail = f": {error}" if str(error) else ""
+                    print(f"[{experiment_id}] gates: FAIL{detail}", file=sys.stderr)
+    if failed:
+        print(f"gate failures: {', '.join(failed)}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_scenarios() -> int:
     for scenario in all_scenarios():
         print(f"{scenario.experiment_id}: {scenario.title}")
@@ -203,6 +295,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_growth(args)
     if args.command == "render":
         return _cmd_render(args)
+    if args.command == "run":
+        return _cmd_run(args)
     if args.command == "scenarios":
         return _cmd_scenarios()
     parser.error(f"unknown command {args.command!r}")

@@ -26,7 +26,7 @@ the robustness experiment E7.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..economics.cables import CableCatalog, default_catalog
@@ -217,7 +217,6 @@ class AccessNetworkDesigner:
         rng: random.Random,
     ) -> Topology:
         """Assemble the core + concentrators + per-cluster feeder trees."""
-        params = self.parameters
         topology = Topology(name="metro-access")
         topology.add_node(core_node_id(0), role=NodeRole.CORE, location=self.core_location)
         for index, location in enumerate(concentrator_locations):

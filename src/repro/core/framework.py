@@ -25,7 +25,7 @@ be applied uniformly to HOT-generated and baseline-generated topologies.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence
 
 from ..economics.cables import CableCatalog, default_catalog
 from ..geography.regions import Region
@@ -40,7 +40,7 @@ from .buyatbulk import (
     solve_mst_routing,
 )
 from .constraints import ConstraintSet, default_router_constraints
-from .fkp import FKPParameters, FKPModel, generate_fkp_tree
+from .fkp import generate_fkp_tree
 from .isp import ISPDesign, generate_isp
 from .meyerson import best_of_runs, solve_meyerson
 from .objectives import CostObjective, Objective

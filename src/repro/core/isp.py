@@ -28,8 +28,8 @@ hierarchy, degree distribution, and cost structure the experiments analyse.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
 
 from ..economics.cables import CableCatalog, default_catalog
 from ..economics.profit_model import RevenueModel

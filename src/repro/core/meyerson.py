@@ -36,11 +36,13 @@ from __future__ import annotations
 
 import math
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..economics.cables import CableCatalog
 from ..geography.points import euclidean
+from ..geography.regions import Region, bounding_region
+from ..geography.spatial_index import SpatialGridIndex
 from ..topology.graph import Topology
 from .buyatbulk import (
     BuyAtBulkInstance,
@@ -77,18 +79,38 @@ class MeyersonParameters:
             )
 
 
-@dataclass
 class _LayeredNetwork:
-    """Internal growth state: which nodes are reachable at which cable layer."""
+    """Internal growth state: which nodes are reachable at which cable layer.
 
-    #: node ids present at each layer (layer index into the catalog, small → large).
-    members: Dict[int, List[Any]] = field(default_factory=dict)
-    locations: Dict[Any, Tuple[float, float]] = field(default_factory=dict)
+    Nearest-member queries are answered by one
+    :class:`~repro.geography.spatial_index.SpatialGridIndex` per cable layer
+    (the PR-2 generation-engine grid: exact pruned argmin with ring
+    expansion).  Each member is indexed under its per-layer insertion order,
+    and the grid breaks objective ties toward the lowest id, so the query
+    returns exactly what the seed's first-minimum linear scan returned.  The
+    scan is kept as a fallback (``use_spatial_index=False``) and pinned to
+    the grid by the brute-force equivalence tests.
+    """
+
+    def __init__(self, region: Region, use_spatial_index: bool = True) -> None:
+        self._region = region
+        self._use_spatial_index = use_spatial_index
+        #: node ids present at each layer (layer index into the catalog,
+        #: small → large), in insertion order.
+        self.members: Dict[int, List[Any]] = {}
+        self.locations: Dict[Any, Tuple[float, float]] = {}
+        self._indexes: Dict[int, SpatialGridIndex] = {}
 
     def add(self, node_id: Any, location: Tuple[float, float], layers: Sequence[int]) -> None:
         self.locations[node_id] = location
         for layer in layers:
-            self.members.setdefault(layer, []).append(node_id)
+            members = self.members.setdefault(layer, [])
+            if self._use_spatial_index:
+                index = self._indexes.get(layer)
+                if index is None:
+                    index = self._indexes[layer] = SpatialGridIndex(self._region)
+                index.insert(len(members), location)
+            members.append(node_id)
 
     def nearest_member(
         self, location: Tuple[float, float], layer: int
@@ -96,6 +118,9 @@ class _LayeredNetwork:
         candidates = self.members.get(layer, [])
         if not candidates:
             return None
+        if self._use_spatial_index:
+            position, distance = self._indexes[layer].argmin(location, alpha=1.0)
+            return candidates[position], distance
         best_id = candidates[0]
         best_distance = euclidean(location, self.locations[best_id])
         for node_id in candidates[1:]:
@@ -113,9 +138,13 @@ class MeyersonBuyAtBulk:
         self,
         instance: BuyAtBulkInstance,
         parameters: Optional[MeyersonParameters] = None,
+        use_spatial_index: bool = True,
     ) -> None:
         self.instance = instance
         self.parameters = parameters or MeyersonParameters()
+        #: Grid-backed nearest-member queries (exact; identical output to the
+        #: linear scan, which remains available for the equivalence tests).
+        self.use_spatial_index = use_spatial_index
 
     # ------------------------------------------------------------------
     def solve(self) -> BuyAtBulkSolution:
@@ -126,7 +155,14 @@ class MeyersonBuyAtBulk:
         num_layers = len(catalog)
 
         topology = _base_topology(self.instance, "buyatbulk-meyerson")
-        network = _LayeredNetwork()
+        # The grid's exactness requires every indexed and queried point inside
+        # its region; the instance bounding box guarantees that regardless of
+        # whether the instance carries an (optional, reporting-only) region.
+        region = bounding_region(
+            self.instance.customer_locations() + list(self.instance.core_locations),
+            name="meyerson-instance",
+        )
+        network = _LayeredNetwork(region, use_spatial_index=self.use_spatial_index)
         all_layers = list(range(num_layers))
         for index, location in enumerate(self.instance.core_locations):
             network.add(core_node_id(index), location, all_layers)

@@ -23,7 +23,7 @@ the paper argues descriptive generators cannot offer.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..geography.population import PopulationModel, synthetic_population

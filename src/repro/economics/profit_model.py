@@ -11,7 +11,7 @@ worth connecting at all.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Sequence
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,59 @@
+"""Experiment orchestration engine.
+
+The layer every workload plugs into: :class:`~repro.experiments.task.Task`
+expansion from :mod:`repro.workloads.scenarios` sweep grids, a deterministic
+parallel runner (:func:`run_tasks` / :func:`run_experiment`), the
+content-addressed ``RESULTS/`` store with per-scenario manifests, and the
+shared reporting helpers used by all ``benchmarks/bench_*.py`` scripts and
+``python -m repro.cli run``.
+"""
+
+from .manifest import ResultStore, TaskRecord, identity_view, json_safe, payload_sha256
+from .registry import (
+    ExperimentSuite,
+    available_experiments,
+    get_suite,
+    load_builtin_suites,
+    register_suite,
+)
+from .runner import (
+    ExperimentResult,
+    RunReport,
+    execute_task,
+    run_experiment,
+    run_tasks,
+)
+from .task import (
+    SCHEMA_VERSION,
+    Task,
+    canonical_json,
+    derive_seed,
+    expand_grid,
+    expand_points,
+    task_digest,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "ExperimentResult",
+    "ExperimentSuite",
+    "ResultStore",
+    "RunReport",
+    "Task",
+    "TaskRecord",
+    "available_experiments",
+    "canonical_json",
+    "derive_seed",
+    "execute_task",
+    "expand_grid",
+    "expand_points",
+    "get_suite",
+    "identity_view",
+    "json_safe",
+    "load_builtin_suites",
+    "payload_sha256",
+    "register_suite",
+    "run_experiment",
+    "run_tasks",
+    "task_digest",
+]

@@ -1,0 +1,201 @@
+"""Content-addressed result store and scenario manifests.
+
+Every completed task is persisted as ``RESULTS/<scenario>/<digest>.json``,
+where the digest is the SHA-256 content address computed by
+:func:`repro.experiments.task.task_digest`.  Re-running a sweep loads the
+stored records instead of recomputing points (``--force`` bypasses this).
+
+Each record separates its **identity** fields (parameters, seed, payload,
+kernel counters — everything that must be bit-identical between serial and
+parallel runs) from its **timing** fields (wall-clock measurements that
+legitimately vary run to run).  :func:`identity_view` strips the timing
+fields, which is exactly the "byte-identical modulo timing" contract the
+benchmark harness and the runner tests check.
+
+The per-scenario ``manifest.json`` lists every task of the sweep in index
+order with its digest and a payload hash, and contains *no* timing fields at
+all: two runs of the same sweep write byte-identical manifests regardless of
+``--jobs``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from .task import SCHEMA_VERSION, Task, canonical_json
+
+#: Top-level record keys excluded from the identity comparison.
+TIMING_FIELDS = ("timing",)
+
+
+@dataclass
+class TaskRecord:
+    """The persisted result of one task.
+
+    Attributes:
+        scenario_id: Experiment identifier.
+        index: Task position in the expanded sweep.
+        point: The parameter point.
+        seed: The derived per-task seed actually used.
+        digest: Content address (also the file name).
+        payload: The experiment measurement — deterministic given the seed.
+        counters: ``KERNEL_COUNTERS`` snapshot for the task (deterministic).
+        timing: Wall-clock fields; excluded from identity.
+        cached: True when the record was loaded from the store, not computed.
+    """
+
+    scenario_id: str
+    index: int
+    point: Dict[str, object]
+    seed: int
+    digest: str
+    payload: Dict[str, object]
+    counters: Dict[str, int] = field(default_factory=dict)
+    timing: Dict[str, float] = field(default_factory=dict)
+    cached: bool = False
+
+    def to_json(self) -> Dict[str, object]:
+        """JSON form written to the store (``cached`` is runtime-only state)."""
+        return {
+            "schema": SCHEMA_VERSION,
+            "scenario": self.scenario_id,
+            "index": self.index,
+            "point": self.point,
+            "seed": self.seed,
+            "digest": self.digest,
+            "payload": self.payload,
+            "counters": self.counters,
+            "timing": self.timing,
+        }
+
+    @staticmethod
+    def from_json(data: Dict[str, object]) -> "TaskRecord":
+        """Rebuild a record from its stored JSON form."""
+        if data.get("schema") != SCHEMA_VERSION:
+            raise ValueError(
+                f"record schema {data.get('schema')!r} != engine schema {SCHEMA_VERSION}"
+            )
+        return TaskRecord(
+            scenario_id=data["scenario"],
+            index=data["index"],
+            point=dict(data["point"]),
+            seed=data["seed"],
+            digest=data["digest"],
+            payload=data["payload"],
+            counters=dict(data.get("counters", {})),
+            timing=dict(data.get("timing", {})),
+        )
+
+
+def json_safe(value: object) -> object:
+    """Recursively convert a payload to strict-JSON-safe form.
+
+    Non-finite floats become the strings ``"NaN"`` / ``"Infinity"`` /
+    ``"-Infinity"`` (strict JSON has no literal for them, and the content
+    addresses hash canonical JSON with ``allow_nan=False``); tuples become
+    lists; anything non-JSON falls back to ``str``.
+    """
+    if isinstance(value, dict):
+        return {str(key): json_safe(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [json_safe(item) for item in value]
+    if isinstance(value, float) and not math.isfinite(value):
+        if math.isnan(value):
+            return "NaN"
+        return "Infinity" if value > 0 else "-Infinity"
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    return str(value)
+
+
+def identity_view(record_json: Dict[str, object]) -> Dict[str, object]:
+    """A record's JSON form with the timing fields removed."""
+    return {k: v for k, v in record_json.items() if k not in TIMING_FIELDS}
+
+
+def payload_sha256(payload: Dict[str, object]) -> str:
+    """Canonical hash of a record payload (manifest integrity field)."""
+    return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
+
+
+class ResultStore:
+    """Filesystem store rooted at a ``RESULTS/`` directory."""
+
+    def __init__(self, root: Path | str = "RESULTS") -> None:
+        self.root = Path(root)
+
+    def scenario_dir(self, scenario_id: str) -> Path:
+        """Directory holding one scenario's records and manifest."""
+        return self.root / scenario_id
+
+    def record_path(self, scenario_id: str, digest: str) -> Path:
+        """Path of one task's record file."""
+        return self.scenario_dir(scenario_id) / f"{digest}.json"
+
+    def manifest_path(self, scenario_id: str) -> Path:
+        """Path of one scenario's manifest file."""
+        return self.scenario_dir(scenario_id) / "manifest.json"
+
+    def load(self, task: Task) -> Optional[TaskRecord]:
+        """Load the cached record for a task, or None on miss/schema mismatch."""
+        path = self.record_path(task.scenario_id, task.digest)
+        if not path.exists():
+            return None
+        try:
+            data = json.loads(path.read_text())
+            record = TaskRecord.from_json(data)
+        except (ValueError, KeyError, json.JSONDecodeError):
+            return None  # unreadable or stale-schema entries are cache misses
+        record.cached = True
+        return record
+
+    def store(self, record: TaskRecord) -> Path:
+        """Persist a record at its content address."""
+        path = self.record_path(record.scenario_id, record.digest)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(record.to_json(), indent=2, sort_keys=True) + "\n")
+        return path
+
+    def write_manifest(
+        self,
+        scenario_id: str,
+        records: Sequence[TaskRecord],
+        title: str = "",
+        mode: str = "full",
+        base_seed: int = 0,
+    ) -> Path:
+        """Write the deterministic sweep manifest (no timing fields).
+
+        Records are listed in task-index order, so the manifest bytes depend
+        only on the sweep definition and the (deterministic) payloads — not
+        on scheduling, job count, or cache state.
+        """
+        entries: List[Dict[str, object]] = [
+            {
+                "index": record.index,
+                "point": record.point,
+                "seed": record.seed,
+                "digest": record.digest,
+                "payload_sha256": payload_sha256(record.payload),
+                "counters": record.counters,
+            }
+            for record in sorted(records, key=lambda r: r.index)
+        ]
+        manifest = {
+            "schema": SCHEMA_VERSION,
+            "scenario": scenario_id,
+            "title": title,
+            "mode": mode,
+            "base_seed": base_seed,
+            "num_tasks": len(entries),
+            "tasks": entries,
+        }
+        path = self.manifest_path(scenario_id)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+        return path

@@ -1,0 +1,178 @@
+"""Parallel sweep runner with deterministic seeding and result caching.
+
+``run_tasks`` fans a task list out over ``multiprocessing`` workers.  Three
+properties make ``--jobs N`` and ``--jobs 1`` produce bit-identical results:
+
+* every task carries its own seed, derived by stable hashing of
+  ``(scenario_id, point, base_seed)`` — no RNG state is shared across tasks,
+  so scheduling order cannot leak into any task's random stream;
+* ``KERNEL_COUNTERS`` is reset before and snapshotted after each point in
+  the executing process, so counter payloads are per-task, not per-worker;
+* records are reassembled in task-index order regardless of completion
+  order.
+
+Before dispatch, each task is looked up in the content-addressed
+:class:`~repro.experiments.manifest.ResultStore`; hits are returned without
+recomputation (the cache key includes the point, the base seed, and the
+manifest schema version, so parameter or schema changes miss cleanly).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from ..topology.compiled import KERNEL_COUNTERS
+from .manifest import ResultStore, TaskRecord, json_safe
+from .registry import Tables, get_suite, load_builtin_suites
+from .task import Task
+
+
+def _start_method() -> str:
+    """Prefer fork (fast, inherits the registry); fall back to spawn."""
+    methods = multiprocessing.get_all_start_methods()
+    return "fork" if "fork" in methods else "spawn"
+
+
+def execute_task(task: Task) -> TaskRecord:
+    """Run one task in the current process and return its record."""
+    suite = get_suite(task.scenario_id)
+    KERNEL_COUNTERS.reset()
+    start = time.perf_counter()
+    payload = json_safe(suite.run_point(task.point_dict, task.seed))
+    elapsed = time.perf_counter() - start
+    counters = KERNEL_COUNTERS.snapshot()
+    return TaskRecord(
+        scenario_id=task.scenario_id,
+        index=task.index,
+        point=task.point_dict,
+        seed=task.seed,
+        digest=task.digest,
+        payload=payload,
+        counters=dict(counters),
+        timing={"seconds": round(elapsed, 6)},
+    )
+
+
+def _worker_execute(task: Task) -> TaskRecord:
+    """Worker entry point (module-level so it is picklable under spawn)."""
+    load_builtin_suites()
+    return execute_task(task)
+
+
+@dataclass
+class RunReport:
+    """Outcome of one sweep run."""
+
+    scenario_id: str
+    records: List[TaskRecord]
+    cache_hits: int
+    executed: int
+    jobs: int
+    elapsed_seconds: float
+
+
+def run_tasks(
+    tasks: Sequence[Task],
+    jobs: int = 1,
+    store: Optional[ResultStore] = None,
+    force: bool = False,
+) -> RunReport:
+    """Execute a task list, using the cache and ``jobs`` worker processes."""
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    start = time.perf_counter()
+    scenario_id = tasks[0].scenario_id if tasks else ""
+    by_index: Dict[int, TaskRecord] = {}
+    pending: List[Task] = []
+    for task in tasks:
+        cached = None if (force or store is None) else store.load(task)
+        if cached is not None:
+            # The content address covers (scenario, point, base_seed) but not
+            # the sweep position, so a record cached under an older grid
+            # ordering carries a stale index; re-key it to this sweep's.
+            cached.index = task.index
+            by_index[task.index] = cached
+        else:
+            pending.append(task)
+
+    if pending:
+        if jobs == 1 or len(pending) == 1:
+            executed = [_worker_execute(task) for task in pending]
+        else:
+            context = multiprocessing.get_context(_start_method())
+            with context.Pool(processes=min(jobs, len(pending))) as pool:
+                executed = pool.map(_worker_execute, pending, chunksize=1)
+        for record in executed:
+            by_index[record.index] = record
+            if store is not None:
+                store.store(record)
+
+    records = [by_index[task.index] for task in sorted(tasks, key=lambda t: t.index)]
+    return RunReport(
+        scenario_id=scenario_id,
+        records=records,
+        cache_hits=len(tasks) - len(pending),
+        executed=len(pending),
+        jobs=jobs,
+        elapsed_seconds=time.perf_counter() - start,
+    )
+
+
+@dataclass
+class ExperimentResult:
+    """Everything a report needs about one completed experiment."""
+
+    scenario_id: str
+    title: str
+    mode: str
+    tables: Tables
+    report: RunReport
+    manifest_path: Optional[Path] = None
+    gates_checked: bool = False
+    record_timings: Dict[int, float] = field(default_factory=dict)
+
+    @property
+    def records(self) -> List[TaskRecord]:
+        """The per-task records, in index order."""
+        return self.report.records
+
+
+def run_experiment(
+    scenario_id: str,
+    smoke: bool = False,
+    jobs: int = 1,
+    results_dir: Optional[Path | str] = "RESULTS",
+    force: bool = False,
+    check: bool = True,
+) -> ExperimentResult:
+    """Expand, run, persist, aggregate, and (optionally) gate one experiment."""
+    suite = get_suite(scenario_id)
+    store = ResultStore(results_dir) if results_dir is not None else None
+    tasks = suite.expand(smoke)
+    report = run_tasks(tasks, jobs=jobs, store=store, force=force)
+    manifest_path = None
+    if store is not None:
+        manifest_path = store.write_manifest(
+            scenario_id,
+            report.records,
+            title=suite.title,
+            mode="smoke" if smoke else "full",
+            base_seed=suite.base_seed,
+        )
+    tables = suite.aggregate(report.records)
+    if check and suite.check is not None:
+        suite.check(tables, smoke)
+    return ExperimentResult(
+        scenario_id=scenario_id,
+        title=suite.title,
+        mode="smoke" if smoke else "full",
+        tables=tables,
+        report=report,
+        manifest_path=manifest_path,
+        gates_checked=check and suite.check is not None,
+        record_timings={r.index: r.timing.get("seconds", 0.0) for r in report.records},
+    )

@@ -1,0 +1,30 @@
+"""Built-in experiment suites (E1–E9).
+
+Importing this package registers every suite with the engine registry;
+worker processes do the same via
+:func:`repro.experiments.registry.load_builtin_suites`.
+"""
+
+from . import (  # noqa: F401  (import side effect registers the suites)
+    e1_fkp_phase,
+    e2_buy_at_bulk,
+    e3_cable_economics,
+    e4_isp_hierarchy,
+    e5_generator_comparison,
+    e6_peering,
+    e7_robustness,
+    e8_scaling,
+    e9_ablations,
+)
+
+__all__ = [
+    "e1_fkp_phase",
+    "e2_buy_at_bulk",
+    "e3_cable_economics",
+    "e4_isp_hierarchy",
+    "e5_generator_comparison",
+    "e6_peering",
+    "e7_robustness",
+    "e8_scaling",
+    "e9_ablations",
+]

@@ -1,0 +1,128 @@
+"""Task abstraction of the experiment orchestration engine.
+
+A :class:`Task` is one unit of experiment work: a scenario id, one parameter
+*point* of that scenario's sweep grid, and a deterministic per-task seed.
+Tasks are the currency of the runner (:mod:`repro.experiments.runner`) and of
+the content-addressed result cache (:mod:`repro.experiments.manifest`):
+
+* the per-task seed is derived by hashing ``(scenario_id, point, base_seed)``
+  with SHA-256 — *not* Python's builtin ``hash``, which is randomized per
+  process — so the same point receives the same RNG stream no matter which
+  worker process (or how many of them) executes it;
+* the task digest is the SHA-256 of the same canonical key plus the manifest
+  schema version, and names the cached result file
+  ``RESULTS/<scenario>/<digest>.json``.
+
+Both derivations go through :func:`canonical_json`, which rejects
+non-JSON-serializable parameter values up front: a point that cannot be
+hashed canonically cannot be cached or reproduced either.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+
+#: Bump when the record layout in :mod:`repro.experiments.manifest` changes;
+#: part of every digest so stale cache entries can never be confused for
+#: current ones.
+SCHEMA_VERSION = 1
+
+
+def canonical_json(value: object) -> str:
+    """Canonical JSON text of ``value`` (sorted keys, no whitespace drift)."""
+    return json.dumps(value, sort_keys=True, separators=(",", ":"), allow_nan=False)
+
+
+def derive_seed(scenario_id: str, point: Mapping[str, object], base_seed: int) -> int:
+    """Deterministic per-task seed for one parameter point.
+
+    Stable across processes, Python versions, and ``PYTHONHASHSEED`` — the
+    property that makes parallel and serial sweeps bit-identical.
+    """
+    key = canonical_json([scenario_id, dict(point), base_seed])
+    digest = hashlib.sha256(key.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def task_digest(scenario_id: str, point: Mapping[str, object], base_seed: int) -> str:
+    """Content address of a task's result (hex SHA-256)."""
+    key = canonical_json(
+        {
+            "schema": SCHEMA_VERSION,
+            "scenario": scenario_id,
+            "point": dict(point),
+            "base_seed": base_seed,
+        }
+    )
+    return hashlib.sha256(key.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class Task:
+    """One executable unit: scenario + parameter point + derived seed.
+
+    Attributes:
+        scenario_id: Experiment identifier (``"E1"`` ... ``"E9"``).
+        index: Position in the expanded sweep (stable result ordering).
+        point: The parameter point, a flat JSON-serializable mapping.
+        base_seed: The sweep-level seed the per-task seed is derived from.
+    """
+
+    scenario_id: str
+    index: int
+    point: Tuple[Tuple[str, object], ...]
+    base_seed: int
+
+    @staticmethod
+    def make(scenario_id: str, index: int, point: Mapping[str, object], base_seed: int) -> "Task":
+        """Build a task from a plain dict point (stored sorted and hashable)."""
+        items = tuple(sorted(point.items()))
+        canonical_json(dict(items))  # fail fast on non-serializable values
+        return Task(scenario_id=scenario_id, index=index, point=items, base_seed=base_seed)
+
+    @property
+    def point_dict(self) -> Dict[str, object]:
+        """The parameter point as a plain dict."""
+        return dict(self.point)
+
+    @property
+    def seed(self) -> int:
+        """The derived deterministic per-task seed."""
+        return derive_seed(self.scenario_id, self.point_dict, self.base_seed)
+
+    @property
+    def digest(self) -> str:
+        """Content address of this task's result."""
+        return task_digest(self.scenario_id, self.point_dict, self.base_seed)
+
+
+def expand_grid(
+    scenario_id: str,
+    base_seed: int,
+    axes: Mapping[str, Sequence[object]],
+    constants: Mapping[str, object] | None = None,
+) -> List[Task]:
+    """Expand a sweep grid (cartesian product of ``axes``) into tasks.
+
+    Axes are iterated in the order given (insertion order of the mapping),
+    the last axis varying fastest, so task indices are stable for a fixed
+    grid definition.  ``constants`` are merged into every point.
+    """
+    names = list(axes.keys())
+    tasks: List[Task] = []
+    for index, combo in enumerate(itertools.product(*(axes[name] for name in names))):
+        point = dict(constants or {})
+        point.update(zip(names, combo))
+        tasks.append(Task.make(scenario_id, index, point, base_seed))
+    return tasks
+
+
+def expand_points(
+    scenario_id: str, base_seed: int, points: Iterable[Mapping[str, object]]
+) -> List[Task]:
+    """Expand an explicit point list (non-cartesian sweeps) into tasks."""
+    return [Task.make(scenario_id, index, point, base_seed) for index, point in enumerate(points)]

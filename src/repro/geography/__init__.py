@@ -13,7 +13,7 @@ from .points import (
     random_points,
     total_length,
 )
-from .regions import Region, metro_region, national_region, unit_square
+from .regions import Region, bounding_region, metro_region, national_region, unit_square
 from .spatial_index import GridBuckets, SpatialGridIndex
 from .population import (
     City,
@@ -27,6 +27,7 @@ from .demand import DemandMatrix, access_demands, gravity_demand, uniform_demand
 __all__ = [
     "Point",
     "bounding_box",
+    "bounding_region",
     "centroid",
     "clustered_points",
     "euclidean",

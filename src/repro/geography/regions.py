@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from .points import clustered_points, random_points
 
@@ -120,3 +120,24 @@ def metro_region(name: str = "metro", size_km: float = 50.0) -> Region:
 def national_region(name: str = "national", width_km: float = 4200.0, height_km: float = 2500.0) -> Region:
     """A continental-scale region sized like the contiguous United States."""
     return Region(name=name, width=width_km, height=height_km)
+
+
+def bounding_region(
+    points: Sequence[Tuple[float, float]], name: str = "bounding-box"
+) -> Region:
+    """The axis-aligned bounding box of a point set, as a :class:`Region`.
+
+    The box is what :class:`~repro.geography.spatial_index.SpatialGridIndex`
+    needs for its exactness guarantee: every indexed/queried point must lie
+    inside the region, otherwise the clamped cell assignment could overstate
+    a cell's distance lower bound.  Both sides are set to the larger span
+    (square cells suit the grid's ring expansion), with a small positive
+    floor so degenerate point sets (collinear or identical) stay valid.
+    """
+    if not points:
+        raise ValueError("bounding_region requires at least one point")
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    min_x, min_y = min(xs), min(ys)
+    extent = max(max(xs) - min_x, max(ys) - min_y, 1e-9)
+    return Region(name=name, width=extent, height=extent, origin=(min_x, min_y))

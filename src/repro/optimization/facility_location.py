@@ -14,6 +14,16 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..geography.points import euclidean
+from ..geography.regions import bounding_region
+from ..geography.spatial_index import SpatialGridIndex
+
+#: Open-facility count above which ``_assign_clients`` switches from the
+#: linear scan to a grid-backed nearest-facility query.  Both paths return
+#: identical assignments (the grid's argmin is exact and breaks ties by
+#: insertion order, like the scan); the threshold only avoids paying the
+#: grid-build overhead for the tiny facility sets typical of early greedy
+#: iterations.
+SPATIAL_INDEX_THRESHOLD = 9
 
 
 @dataclass
@@ -47,8 +57,18 @@ def _assign_clients(
     weights: Sequence[float],
     candidates: Sequence[Tuple[float, float]],
     open_facilities: Sequence[int],
+    use_spatial_index: Optional[bool] = None,
 ) -> Tuple[Dict[int, int], float]:
-    """Assign every client to its nearest open facility; return cost too."""
+    """Assign every client to its nearest open facility; return cost too.
+
+    ``use_spatial_index`` forces one path (the equivalence tests exercise
+    both); by default the grid is used once the open set is large enough to
+    amortize its construction.
+    """
+    if use_spatial_index is None:
+        use_spatial_index = len(open_facilities) >= SPATIAL_INDEX_THRESHOLD
+    if use_spatial_index:
+        return _assign_clients_grid(clients, weights, candidates, open_facilities)
     assignment: Dict[int, int] = {}
     connection_cost = 0.0
     for client_index, client in enumerate(clients):
@@ -61,6 +81,33 @@ def _assign_clients(
                 best_facility = facility_index
         assignment[client_index] = best_facility
         connection_cost += weights[client_index] * best_distance
+    return assignment, connection_cost
+
+
+def _assign_clients_grid(
+    clients: Sequence[Tuple[float, float]],
+    weights: Sequence[float],
+    candidates: Sequence[Tuple[float, float]],
+    open_facilities: Sequence[int],
+) -> Tuple[Dict[int, int], float]:
+    """Grid-backed nearest-facility assignment (identical output to the scan).
+
+    Facilities are indexed under their position in ``open_facilities``, so
+    the grid's lowest-id tie-break reproduces the scan's first-minimum rule
+    exactly; the bounding region covers clients and facilities, which is the
+    grid's exactness precondition.
+    """
+    facility_points = [candidates[f] for f in open_facilities]
+    region = bounding_region(list(clients) + facility_points, name="facility-assignment")
+    index = SpatialGridIndex(region, expected_points=len(facility_points))
+    for position, point in enumerate(facility_points):
+        index.insert(position, point)
+    assignment: Dict[int, int] = {}
+    connection_cost = 0.0
+    for client_index, client in enumerate(clients):
+        position, distance = index.argmin(client, alpha=1.0)
+        assignment[client_index] = open_facilities[position]
+        connection_cost += weights[client_index] * distance
     return assignment, connection_cost
 
 

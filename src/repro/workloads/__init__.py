@@ -13,7 +13,10 @@ from .matrices import (
     national_uniform_matrix,
 )
 from .scenarios import (
+    SCENARIO_FACTORIES,
+    SMOKE_OVERRIDES,
     Scenario,
+    ablations_scenario,
     all_scenarios,
     buy_at_bulk_scenario,
     cable_economics_scenario,
@@ -23,9 +26,14 @@ from .scenarios import (
     peering_scenario,
     robustness_scenario,
     scaling_scenario,
+    scenario_for,
 )
 
 __all__ = [
+    "SCENARIO_FACTORIES",
+    "SMOKE_OVERRIDES",
+    "ablations_scenario",
+    "scenario_for",
     "REFERENCE_CITIES",
     "metro_customers",
     "reference_population",

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Callable, Dict, List, Sequence
 
 
 @dataclass(frozen=True)
@@ -176,6 +176,32 @@ def scaling_scenario(
     )
 
 
+def ablations_scenario(seed: int = 41) -> Scenario:
+    """E9 (supplementary): the ablation studies DESIGN.md commits to.
+
+    Not a figure from the paper (hence excluded from :func:`all_scenarios`),
+    but run through the same orchestration engine as E1–E8.
+    """
+    return Scenario(
+        experiment_id="E9",
+        title="Design-choice ablations (arrival order, degree limits, centrality, validation)",
+        paper_claim=(
+            "Supplementary: the causal sensitivity of the HOT formulations — "
+            "randomization, interface limits, and the centrality definition — "
+            "and the reference-signature validation matrix."
+        ),
+        parameters={
+            "seed": seed,
+            "arrival_orders": ["random", "demand", "given"],
+            "degree_limits": [0, 16, 8, 4],  # 0 = unconstrained
+            "centralities": ["hop-to-root", "euclidean-to-root", "subtree-load"],
+            "validation_topologies": ["buy-at-bulk-access", "barabasi-albert"],
+            "num_customers": 300,
+            "num_nodes": 600,
+        },
+    )
+
+
 def all_scenarios() -> List[Scenario]:
     """Every experiment scenario, in experiment order."""
     return [
@@ -188,3 +214,43 @@ def all_scenarios() -> List[Scenario]:
         robustness_scenario(),
         scaling_scenario(),
     ]
+
+
+#: Factory per experiment id (E9 is supplementary; see :func:`ablations_scenario`).
+SCENARIO_FACTORIES: Dict[str, Callable[..., Scenario]] = {
+    "E1": fkp_phase_scenario,
+    "E2": buy_at_bulk_scenario,
+    "E3": cable_economics_scenario,
+    "E4": isp_hierarchy_scenario,
+    "E5": generator_comparison_scenario,
+    "E6": peering_scenario,
+    "E7": robustness_scenario,
+    "E8": scaling_scenario,
+    "E9": ablations_scenario,
+}
+
+#: Reduced sweep grids for CI smoke runs: same axes, smaller sizes, so every
+#: experiment finishes in seconds while still exercising its full code path.
+SMOKE_OVERRIDES: Dict[str, Dict[str, object]] = {
+    "E1": {"num_nodes": 500},
+    "E2": {"customer_counts": (60, 120)},
+    "E3": {"customer_counts": (50, 100)},
+    "E4": {"city_counts": (10, 20)},
+    "E5": {"num_nodes": 300},
+    "E6": {"isp_counts": (10, 20), "num_cities": 20},
+    "E7": {"num_nodes": 240},
+    "E8": {"customer_counts": (50, 100, 200)},
+    "E9": {},
+}
+
+
+def scenario_for(experiment_id: str, smoke: bool = False) -> Scenario:
+    """The scenario for one experiment id, optionally in its smoke variant."""
+    try:
+        factory = SCENARIO_FACTORIES[experiment_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; known: {sorted(SCENARIO_FACTORIES)}"
+        ) from None
+    kwargs = SMOKE_OVERRIDES.get(experiment_id, {}) if smoke else {}
+    return factory(**kwargs)

@@ -13,7 +13,7 @@ from repro.core.buyatbulk import (
     solve_mst_routing,
     trivial_lower_bound,
 )
-from repro.economics.cables import default_catalog, linear_catalog
+from repro.economics.cables import linear_catalog
 from repro.topology.node import NodeRole
 
 

@@ -111,3 +111,42 @@ class TestApproximationFactor:
         bound = trivial_lower_bound(medium_instance)
         # The trivial lower bound is loose, so allow a generous multiple.
         assert cost <= 5 * factor * bound
+
+
+class TestSpatialIndexEquivalence:
+    """The grid-backed nearest-member queries are exact: solutions are
+    bit-identical to the seed's linear-scan implementation."""
+
+    @pytest.mark.parametrize("seed", [0, 3, 11])
+    @pytest.mark.parametrize("clustered", [False, True])
+    def test_solutions_bit_identical(self, seed, clustered):
+        instance = random_instance(150, seed=seed, clustered=clustered)
+        grid = MeyersonBuyAtBulk(
+            instance, MeyersonParameters(seed=seed), use_spatial_index=True
+        ).solve()
+        scan = MeyersonBuyAtBulk(
+            instance, MeyersonParameters(seed=seed), use_spatial_index=False
+        ).solve()
+        assert sorted(map(str, grid.topology.link_keys())) == sorted(
+            map(str, scan.topology.link_keys())
+        )
+        assert grid.total_cost() == scan.total_cost()
+
+    def test_default_uses_spatial_index(self, medium_instance):
+        assert MeyersonBuyAtBulk(medium_instance).use_spatial_index
+
+    def test_arrival_order_variants_identical(self, medium_instance):
+        for order in ("random", "demand", "given"):
+            grid = MeyersonBuyAtBulk(
+                medium_instance,
+                MeyersonParameters(seed=2, arrival_order=order),
+                use_spatial_index=True,
+            ).solve()
+            scan = MeyersonBuyAtBulk(
+                medium_instance,
+                MeyersonParameters(seed=2, arrival_order=order),
+                use_spatial_index=False,
+            ).solve()
+            assert sorted(map(str, grid.topology.link_keys())) == sorted(
+                map(str, scan.topology.link_keys())
+            )

@@ -1,7 +1,5 @@
 """Tests for repro.economics.provisioning."""
 
-import math
-
 import pytest
 
 from repro.economics.cables import default_catalog

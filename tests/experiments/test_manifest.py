@@ -1,0 +1,109 @@
+"""Tests for repro.experiments.manifest — records, store, manifests."""
+
+import json
+
+import pytest
+
+from repro.experiments.manifest import (
+    ResultStore,
+    TaskRecord,
+    identity_view,
+    json_safe,
+    payload_sha256,
+)
+from repro.experiments.task import SCHEMA_VERSION, Task
+
+
+def make_record(index: int = 0, seconds: float = 0.5) -> TaskRecord:
+    task = Task.make("EX", index, {"n": 10 + index}, 3)
+    return TaskRecord(
+        scenario_id=task.scenario_id,
+        index=task.index,
+        point=task.point_dict,
+        seed=task.seed,
+        digest=task.digest,
+        payload={"value": index * 2},
+        counters={"sampler_draws": 4},
+        timing={"seconds": seconds},
+    )
+
+
+class TestRecordRoundTrip:
+    def test_json_round_trip(self):
+        record = make_record()
+        rebuilt = TaskRecord.from_json(record.to_json())
+        assert rebuilt.to_json() == record.to_json()
+
+    def test_schema_field_written(self):
+        assert make_record().to_json()["schema"] == SCHEMA_VERSION
+
+    def test_schema_mismatch_rejected(self):
+        data = make_record().to_json()
+        data["schema"] = SCHEMA_VERSION + 1
+        with pytest.raises(ValueError):
+            TaskRecord.from_json(data)
+
+    def test_identity_view_strips_timing_only(self):
+        data = make_record(seconds=1.0).to_json()
+        other = make_record(seconds=2.0).to_json()
+        assert data != other
+        assert identity_view(data) == identity_view(other)
+        assert "timing" not in identity_view(data)
+
+
+class TestJsonSafe:
+    def test_non_finite_floats_become_strings(self):
+        assert json_safe(float("nan")) == "NaN"
+        assert json_safe(float("inf")) == "Infinity"
+        assert json_safe(float("-inf")) == "-Infinity"
+
+    def test_nested_structures(self):
+        value = {"a": (1, 2), "b": [float("nan"), 3.5]}
+        assert json_safe(value) == {"a": [1, 2], "b": ["NaN", 3.5]}
+
+    def test_payload_hash_accepts_sanitized(self):
+        payload = json_safe({"x": float("inf"), "y": 1})
+        assert len(payload_sha256(payload)) == 64
+
+
+class TestResultStore:
+    def test_store_then_load(self, tmp_path):
+        store = ResultStore(tmp_path)
+        record = make_record()
+        path = store.store(record)
+        assert path.name == f"{record.digest}.json"
+        task = Task.make("EX", 0, {"n": 10}, 3)
+        loaded = store.load(task)
+        assert loaded is not None and loaded.cached
+        assert loaded.payload == record.payload
+
+    def test_miss_on_absent_record(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert store.load(Task.make("EX", 0, {"n": 999}, 3)) is None
+
+    def test_miss_on_stale_schema(self, tmp_path):
+        store = ResultStore(tmp_path)
+        record = make_record()
+        path = store.store(record)
+        data = json.loads(path.read_text())
+        data["schema"] = SCHEMA_VERSION + 1
+        path.write_text(json.dumps(data))
+        assert store.load(Task.make("EX", 0, {"n": 10}, 3)) is None
+
+    def test_miss_on_corrupt_record(self, tmp_path):
+        store = ResultStore(tmp_path)
+        record = make_record()
+        path = store.store(record)
+        path.write_text("{not json")
+        assert store.load(Task.make("EX", 0, {"n": 10}, 3)) is None
+
+    def test_manifest_has_no_timing_and_is_ordered(self, tmp_path):
+        store = ResultStore(tmp_path)
+        records = [make_record(1, seconds=9.0), make_record(0, seconds=1.0)]
+        path = store.write_manifest("EX", records, title="t", mode="smoke", base_seed=3)
+        manifest = json.loads(path.read_text())
+        assert "timing" not in json.dumps(manifest)
+        assert [entry["index"] for entry in manifest["tasks"]] == [0, 1]
+        assert manifest["num_tasks"] == 2
+        for entry, record in zip(manifest["tasks"], sorted(records, key=lambda r: r.index)):
+            assert entry["payload_sha256"] == payload_sha256(record.payload)

@@ -318,5 +318,5 @@ class TestEnsembleAndConnectivity:
         topo.add_link(4, 5)
         ensure_connected(topo, random.Random(1))
         assert topo.is_connected()
-        synthetic = [l for l in topo.links() if l.attributes.get("synthetic")]
+        synthetic = [link for link in topo.links() if link.attributes.get("synthetic")]
         assert len(synthetic) == 2

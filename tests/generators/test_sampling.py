@@ -1,6 +1,5 @@
 """Property tests for the generation engine's samplers (repro.generators.sampling)."""
 
-import math
 import random
 
 import pytest

@@ -1,6 +1,5 @@
 """Tests for repro.geography.points."""
 
-import math
 import random
 
 import pytest

@@ -5,7 +5,7 @@ import random
 
 import pytest
 
-from repro.geography.regions import Region, metro_region, unit_square
+from repro.geography.regions import metro_region, unit_square
 from repro.geography.spatial_index import GridBuckets, SpatialGridIndex
 from repro.topology.compiled import KERNEL_COUNTERS
 

@@ -1,7 +1,5 @@
 """Tests for repro.metrics.validation."""
 
-import math
-
 import pytest
 
 from repro.core import generate_fkp_tree, random_instance, solve_meyerson

@@ -140,3 +140,33 @@ class TestAnalysisCommands:
         out = capsys.readouterr().out
         for experiment in (f"E{i}" for i in range(1, 9)):
             assert experiment in out
+
+
+class TestRunCommand:
+    def test_run_list(self, capsys):
+        assert main(["run", "--list"]) == 0
+        out = capsys.readouterr().out
+        for experiment in (f"E{i}" for i in range(1, 10)):
+            assert experiment in out
+
+    def test_run_unknown_experiment(self, capsys):
+        assert main(["run", "E42"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_run_requires_experiments(self, capsys):
+        assert main(["run"]) == 2
+
+    def test_run_smoke_writes_manifest_and_passes_gates(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_BENCH_RESULTS", str(tmp_path / "text"))
+        results = tmp_path / "RESULTS"
+        code = main(["run", "E1", "--smoke", "--results-dir", str(results)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "gates: PASS" in out
+        assert (results / "E1" / "manifest.json").exists()
+        # Cached second run executes nothing.
+        code = main(["run", "E1", "--smoke", "--results-dir", str(results)])
+        assert code == 0
+        assert "6 cached" in capsys.readouterr().out

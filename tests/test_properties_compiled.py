@@ -25,9 +25,13 @@ from repro.topology.node import NodeRole
 # ----------------------------------------------------------------------
 # Reference implementations (object graph, no compiled view)
 # ----------------------------------------------------------------------
+def _default_weight(link):
+    return link.length if link.length > 0 else 1.0
+
+
 def reference_dijkstra(topology, source, weight=None):
     if weight is None:
-        weight = lambda link: link.length if link.length > 0 else 1.0
+        weight = _default_weight
     distances = {source: 0.0}
     visited = set()
     counter = 0

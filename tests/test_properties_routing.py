@@ -7,7 +7,7 @@ from hypothesis import strategies as st
 
 from repro.geography.demand import DemandMatrix
 from repro.geography.points import euclidean
-from repro.optimization.flow import FlowNetwork, network_from_topology
+from repro.optimization.flow import network_from_topology
 from repro.optimization.mst import euclidean_mst_length, prim_mst_points
 from repro.optimization.steiner import geometric_steiner_backbone
 from repro.routing.assignment import assign_demand

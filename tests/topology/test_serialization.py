@@ -65,7 +65,7 @@ class TestEdgeList:
 
 class TestNetworkx:
     def test_to_networkx(self, triangle_topology):
-        nx = pytest.importorskip("networkx")
+        pytest.importorskip("networkx")
         graph = to_networkx(triangle_topology)
         assert graph.number_of_nodes() == 3
         assert graph.number_of_edges() == 3

@@ -124,3 +124,31 @@ class TestScenarios:
         scenario = fkp_phase_scenario(num_nodes=1000)
         regimes = {alpha_regime(a, 1000) for a in scenario.parameters["alphas"]}
         assert regimes == {"star", "power-law", "exponential"}
+
+
+class TestScenarioFor:
+    def test_full_matches_factories(self):
+        from repro.workloads.scenarios import SCENARIO_FACTORIES, scenario_for
+
+        for experiment_id, factory in SCENARIO_FACTORIES.items():
+            assert scenario_for(experiment_id).parameters == factory().parameters
+
+    def test_smoke_variants_shrink_the_sweep(self):
+        from repro.workloads.scenarios import scenario_for
+
+        full = scenario_for("E1").parameters
+        smoke = scenario_for("E1", smoke=True).parameters
+        assert smoke["num_nodes"] < full["num_nodes"]
+        assert smoke["seed"] == full["seed"]
+
+    def test_unknown_experiment_rejected(self):
+        from repro.workloads.scenarios import scenario_for
+
+        with pytest.raises(KeyError):
+            scenario_for("E42")
+
+    def test_ablations_scenario_is_supplementary(self):
+        from repro.workloads.scenarios import ablations_scenario, all_scenarios
+
+        assert ablations_scenario().experiment_id == "E9"
+        assert all(s.experiment_id != "E9" for s in all_scenarios())
