@@ -27,10 +27,11 @@ from typing import Any, Dict, List, Optional, Tuple
 from ..economics.cables import CableCatalog, default_catalog
 from ..geography.points import euclidean
 from ..geography.regions import Region, metro_region
+from ..geography.spatial_index import SpatialGridIndex
 from ..metrics.fits import classify_tail
 from ..topology.graph import Topology
-from ..topology.node import NodeRole
-from .buyatbulk import BuyAtBulkInstance, Customer, core_node_id, provision_solution
+from ..topology.node import Node, NodeRole
+from .buyatbulk import BuyAtBulkInstance, Customer, core_node_id, route_tree_flows
 from .constraints import ConstraintSet, default_router_constraints
 
 
@@ -139,11 +140,22 @@ class GrowthSimulator:
         catalog: Optional[CableCatalog] = None,
         region: Optional[Region] = None,
         constraints: Optional[ConstraintSet] = None,
+        use_spatial_index: bool = True,
     ) -> None:
         self.parameters = parameters or GrowthParameters()
         self.catalog = catalog or default_catalog()
         self.region = region or metro_region()
         self.constraints = constraints or default_router_constraints()
+        #: When True, cheapest-attachment queries run on a SpatialGridIndex
+        #: ring expansion with an exact cable-cost cutoff instead of scanning
+        #: every node; results are identical (property-tested).
+        self.use_spatial_index = use_spatial_index
+        # The grid tracks the topology grown by run(); until run() builds it,
+        # _cheapest_attachment answers ad-hoc queries with the full scan.
+        self._attach_index: Optional[SpatialGridIndex] = None
+        self._attach_ids: List[Any] = []
+        self._attach_grid_id: Dict[Any, int] = {}
+        self._attach_blocked: set = set()
 
     # ------------------------------------------------------------------
     def run(self) -> GrowthTrace:
@@ -154,7 +166,11 @@ class GrowthSimulator:
         topology = Topology(name="incremental-growth")
         topology.metadata["model"] = "incremental-growth"
         core_location = self.region.center
-        topology.add_node(core_node_id(0), role=NodeRole.CORE, location=core_location)
+        core = topology.add_node(
+            core_node_id(0), role=NodeRole.CORE, location=core_location
+        )
+        self._reset_attachment_index()
+        self._register_attachment_target(core)
 
         trace = GrowthTrace(topology=topology)
         waiting: List[Customer] = []
@@ -229,7 +245,7 @@ class GrowthSimulator:
             if spent + cost > budget:
                 deferred.append(customer)
                 continue
-            topology.add_node(
+            node = topology.add_node(
                 customer.customer_id,
                 role=NodeRole.CUSTOMER,
                 location=customer.location,
@@ -242,12 +258,88 @@ class GrowthSimulator:
             link.install_cost = cable.install_cost * copies * link.length
             link.usage_cost = cable.usage_cost * link.length
             spent += cost
+            self._register_attachment_target(node)
+            self._refresh_blocked(topology, customer.customer_id)
+            self._refresh_blocked(topology, target)
         return spent, deferred
+
+    # ------------------------------------------------------------------
+    # Cheapest-attachment queries
+    # ------------------------------------------------------------------
+    def _reset_attachment_index(self) -> None:
+        self._attach_ids = []
+        self._attach_grid_id = {}
+        self._attach_blocked = set()
+        if self.use_spatial_index:
+            params = self.parameters
+            expected = params.initial_customers + (
+                params.periods * params.customers_per_period
+            )
+            self._attach_index = SpatialGridIndex(
+                self.region, expected_points=max(64, expected)
+            )
+        else:
+            self._attach_index = None
+
+    def _register_attachment_target(self, node: Node) -> None:
+        """Index a newly added node as a candidate attachment point.
+
+        Grid ids are assigned in node insertion order, so the index's
+        lowest-id tie-break reproduces the full scan's first-wins order.
+        """
+        grid_id = len(self._attach_ids)
+        self._attach_ids.append(node.node_id)
+        self._attach_grid_id[node.node_id] = grid_id
+        if self._attach_index is not None and node.location is not None:
+            self._attach_index.insert(grid_id, node.location, 0.0)
+
+    def _refresh_blocked(self, topology: Topology, node_id: Any) -> None:
+        """Mark a node infeasible once one more link would break its limit."""
+        limit = self._attachment_limit(topology.node(node_id).role)
+        if limit is not None and topology.degree(node_id) + 1 > limit:
+            self._attach_blocked.add(self._attach_grid_id[node_id])
+
+    def _attachment_limit(self, role: NodeRole) -> Optional[int]:
+        """Effective degree limit for attachment targets of a given role."""
+        limits = [
+            constraint.limit_for(role)
+            for constraint in self.constraints.constraints
+            if getattr(constraint, "limit_for", None) is not None
+        ]
+        return min(limits) if limits else None
 
     def _cheapest_attachment(
         self, topology: Topology, customer: Customer
     ) -> Optional[Tuple[Any, float]]:
-        """The existing node offering the cheapest feasible new access link."""
+        """The existing node offering the cheapest feasible new access link.
+
+        With the spatial index enabled, this is an exact pruned argmin: the
+        cable-cost envelope ``cost_per_unit_length(demand)`` is monotone in
+        distance, so it plays the role of the FKP ``alpha`` and the grid's
+        ring expansion stops as soon as no farther cell can beat the
+        incumbent cost — the *exact cable-cost cutoff*.  Nodes at their
+        degree limit are excluded incrementally instead of being re-checked
+        per query.
+
+        The grid mirrors the topology grown by :meth:`run`; ad-hoc queries
+        before a run (or against a differently sized topology) fall back to
+        the full scan.
+        """
+        if self._attach_index is not None and len(self._attach_ids) == topology.num_nodes:
+            alpha = self.catalog.cost_per_unit_length(customer.demand)
+            grid_id, cost = self._attach_index.argmin(
+                customer.location, alpha, exclude=self._attach_blocked
+            )
+            if grid_id is None:
+                return None
+            return self._attach_ids[grid_id], cost
+        return self._cheapest_attachment_scan(topology, customer)
+
+    def _cheapest_attachment_scan(
+        self, topology: Topology, customer: Customer
+    ) -> Optional[Tuple[Any, float]]:
+        """Reference full scan (the seed implementation), kept for the
+        ``use_spatial_index=False`` path and the equivalence property tests."""
         best_target = None
         best_cost = float("inf")
         for node in topology.nodes():
@@ -278,7 +370,14 @@ class GrowthSimulator:
         return True
 
     def _reprovision(self, topology: Topology) -> Tuple[float, int]:
-        """Re-route access traffic and upgrade any cable the load has outgrown."""
+        """Re-route access traffic and upgrade any cable the load has outgrown.
+
+        Re-routing recomputes every link's load, but cable selection is a
+        deterministic function of the load — so only links whose load
+        actually changed (or that were never provisioned) are re-priced.
+        Periods with no demand growth and few arrivals touch only the links
+        on the new customers' paths to the core instead of the whole tree.
+        """
         customers = [
             Customer(node.node_id, node.location, node.demand)
             for node in topology.nodes()
@@ -292,12 +391,25 @@ class GrowthSimulator:
             catalog=self.catalog,
             region=self.region,
         )
-        previous = {link.key: (link.cable, link.install_cost) for link in topology.links()}
-        provision_solution(topology, instance)
+        previous = {
+            link.key: (link.cable, link.install_cost, link.load)
+            for link in topology.links()
+        }
+        route_tree_flows(topology, instance)
         upgrade_cost = 0.0
         upgrades = 0
         for link in topology.links():
-            old_cable, old_cost = previous.get(link.key, (None, 0.0))
+            old_cable, old_cost, old_load = previous.get(link.key, (None, 0.0, -1.0))
+            if old_cable is not None and link.load == old_load:
+                continue  # unchanged load → identical provisioning, skip
+            if link.load > 0:
+                cable, copies = self.catalog.provision(link.load)
+            else:
+                cable, copies = self.catalog.smallest, 1
+            link.capacity = cable.capacity * copies
+            link.cable = cable.name
+            link.install_cost = cable.install_cost * copies * link.length
+            link.usage_cost = cable.usage_cost * link.length
             if old_cable is not None and link.cable != old_cable:
                 upgrades += 1
                 upgrade_cost += max(0.0, link.install_cost - old_cost)

@@ -60,6 +60,10 @@ class ISPParameters:
             backbone skeleton (beyond the spanning tree), chosen by demand.
         objective: ``"cost"`` or ``"profit"`` formulation.
         feeder_algorithm: Buy-at-bulk algorithm for the metro feeders.
+        refine_iterations: Design-refinement iterations after the initial
+            build: move-based hill climbing over customer access rewires,
+            evaluated in O(Δ) by the incremental objective engine.  0 (the
+            default) skips refinement and reproduces the seed design exactly.
         seed: Master random seed.
     """
 
@@ -70,6 +74,7 @@ class ISPParameters:
     backbone_redundancy: int = 2
     objective: str = "cost"
     feeder_algorithm: str = "meyerson"
+    refine_iterations: int = 0
     seed: Optional[int] = None
 
     def __post_init__(self) -> None:
@@ -85,6 +90,8 @@ class ISPParameters:
             raise ValueError("backbone_redundancy must be non-negative")
         if self.objective not in ("cost", "profit"):
             raise ValueError("objective must be 'cost' or 'profit'")
+        if self.refine_iterations < 0:
+            raise ValueError("refine_iterations must be non-negative")
 
 
 @dataclass
@@ -170,6 +177,8 @@ class ISPGenerator:
         core_ids = self._build_backbone(topology, pop_cities, demand, rng)
         self._build_metros(topology, pop_cities, core_ids, rng)
         self._provision_backbone(topology, pop_cities, demand, core_ids)
+        if params.refine_iterations > 0:
+            self._refine_access(topology, rng)
 
         objective = self._objective()
         value = objective.evaluate(topology)
@@ -350,6 +359,61 @@ class ISPGenerator:
                     usage_cost=link.usage_cost,
                     load=link.load,
                 )
+
+    def _refine_access(self, topology: Topology, rng: random.Random) -> None:
+        """Design-refinement iterations over the finished build (paper §2.2).
+
+        Proposes rewiring a customer's single access link to another
+        aggregation point in the same city; each proposal is priced
+        incrementally by
+        :class:`~repro.optimization.incremental.IncrementalState` under the
+        ISP's own objective (the cost delta is O(Δ); the removal half of a
+        rewire pays the engine's one-sweep reachability fallback), and only
+        cost-improving rewires are kept (first-improvement hill climbing).
+        The refinement summary lands in ``topology.metadata["refinement"]``.
+        """
+        from ..optimization.incremental import IncrementalState, Rewire
+        from ..optimization.local_search import hill_climb_moves
+
+        customers = [
+            n.node_id for n in topology.nodes() if n.role == NodeRole.CUSTOMER
+        ]
+        aggregation_by_city: Dict[str, List[Any]] = {}
+        for node in topology.nodes():
+            if node.city is not None and node.role in (
+                NodeRole.CORE,
+                NodeRole.DISTRIBUTION,
+                NodeRole.ACCESS,
+            ):
+                aggregation_by_city.setdefault(node.city, []).append(node.node_id)
+        if not customers or not aggregation_by_city:
+            return
+
+        def propose(state, prng: random.Random):
+            customer = prng.choice(customers)
+            neighbors = topology.neighbors(customer)
+            if len(neighbors) != 1:
+                return None
+            old = neighbors[0]
+            candidates = aggregation_by_city.get(topology.node(customer).city)
+            if not candidates:
+                return None
+            new = prng.choice(candidates)
+            if new == old or topology.has_link(customer, new):
+                return None
+            return Rewire(customer, old, new)
+
+        state = IncrementalState(topology, self._objective())
+        iterations = self.parameters.refine_iterations
+        result = hill_climb_moves(
+            state, propose, max_iterations=iterations, patience=iterations, rng=rng
+        )
+        topology.metadata["refinement"] = {
+            "iterations": result.iterations,
+            "accepted_moves": result.accepted_moves,
+            "objective_before": result.history[0],
+            "objective_after": result.best_cost,
+        }
 
     def _provision_backbone(
         self,

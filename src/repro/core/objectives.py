@@ -7,17 +7,26 @@ network that satisfies demand only up to the point of profitability."
 
 Objectives are first-class objects so that the ISP generator and the ablation
 benchmarks can swap them without touching the design algorithms.
+
+Every ``evaluate`` here is the *canonical* full recomputation — O(V + E) per
+call, counted in ``KERNEL_COUNTERS.objective_full_evals``.  The optimization
+hot loops (local search, the ISP design iterations, growth simulation) instead
+evaluate candidate *moves* in O(Δ) through
+:class:`repro.optimization.incremental.IncrementalState`, which maintains the
+same cost components incrementally and is property-tested against these
+functions.
 """
 
 from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Any, Dict, Optional
 
 from ..economics.cables import CableCatalog, default_catalog
 from ..economics.cost_model import CostModel
 from ..economics.profit_model import RevenueModel
+from ..topology.compiled import KERNEL_COUNTERS, multi_source_bfs_indices
 from ..topology.graph import Topology
 from ..topology.node import NodeRole
 
@@ -65,6 +74,7 @@ class CostObjective(Objective):
             raise ValueError("demand_penalty must be non-negative")
 
     def evaluate(self, topology: Topology) -> float:
+        KERNEL_COUNTERS.objective_full_evals += 1
         cost = self.cost_model.total_cost(topology)
         cost += self.demand_penalty * unserved_demand(topology)
         return cost
@@ -97,6 +107,7 @@ class ProfitObjective(Objective):
             self.cost_model = CostModel(catalog=self.catalog)
 
     def evaluate(self, topology: Topology) -> float:
+        KERNEL_COUNTERS.objective_full_evals += 1
         cost = self.cost_model.total_cost(topology)
         revenue = 0.0
         served = served_customers(topology)
@@ -135,11 +146,15 @@ class PerformanceCostObjective(Objective):
     def __post_init__(self) -> None:
         if self.performance_weight < 0:
             raise ValueError("performance_weight must be non-negative")
+        # Hoisted: one CostObjective (and hence one CostModel) for the
+        # objective's lifetime instead of a fresh pair per evaluate() call.
+        self.cost_objective = CostObjective(
+            catalog=self.catalog, demand_penalty=self.demand_penalty
+        )
 
     def evaluate(self, topology: Topology) -> float:
-        cost_part = CostObjective(
-            catalog=self.catalog, demand_penalty=self.demand_penalty
-        ).evaluate(topology)
+        # The delegated cost_objective.evaluate records the full evaluation.
+        cost_part = self.cost_objective.evaluate(topology)
         return cost_part + self.performance_weight * mean_customer_hops(topology)
 
 
@@ -153,12 +168,27 @@ def unserved_demand(topology: Topology) -> float:
     )
 
 
+def core_reachability_hops(topology: Topology) -> Dict[Any, int]:
+    """Hop distance to the nearest core node for every core-reachable node.
+
+    One mask-free multi-source BFS over the compiled graph — the shared kernel
+    behind :func:`served_customers` and :func:`mean_customer_hops`, replacing
+    the seed's one-BFS-per-core loops.  Returns an empty mapping when the
+    topology has no core nodes.
+    """
+    cores = [n.node_id for n in topology.nodes() if n.role == NodeRole.CORE]
+    if not cores:
+        return {}
+    graph = topology.compiled()
+    index_of = graph.index_of
+    dist = multi_source_bfs_indices(graph, [index_of[c] for c in cores])
+    ids = graph.ids
+    return {ids[i]: d for i, d in enumerate(dist) if d != -1}
+
+
 def served_customers(topology: Topology) -> set:
     """Identifiers of customer nodes connected (by any path) to a core node."""
-    cores = [n.node_id for n in topology.nodes() if n.role == NodeRole.CORE]
-    reachable = set()
-    for core in cores:
-        reachable.update(topology.bfs_order(core))
+    reachable = core_reachability_hops(topology)
     return {
         node.node_id
         for node in topology.nodes()
@@ -168,15 +198,12 @@ def served_customers(topology: Topology) -> set:
 
 def mean_customer_hops(topology: Topology) -> float:
     """Mean hop distance from customers to their nearest core (0 if none)."""
-    cores = [n.node_id for n in topology.nodes() if n.role == NodeRole.CORE]
     customers = [n.node_id for n in topology.nodes() if n.role == NodeRole.CUSTOMER]
-    if not cores or not customers:
+    if not customers:
         return 0.0
-    best: Dict[object, int] = {}
-    for core in cores:
-        for node_id, dist in topology.hop_distances(core).items():
-            if node_id not in best or dist < best[node_id]:
-                best[node_id] = dist
+    best = core_reachability_hops(topology)
+    if not best:
+        return 0.0
     reachable = [best[c] for c in customers if c in best]
     if not reachable:
         return 0.0

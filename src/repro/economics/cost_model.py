@@ -10,7 +10,7 @@ role, aggregated over a topology.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 from ..topology.graph import Topology
 from ..topology.node import NodeRole
@@ -85,24 +85,42 @@ class CostModel:
             raise ValueError("link_cost requires a cable catalog")
         return self.catalog.link_cost(load, length) + self.fiber_cost_per_length * length
 
-    def evaluate(self, topology: Topology) -> CostBreakdown:
-        """Compute the cost breakdown of a topology.
+    def link_contribution(self, link) -> Tuple[float, float]:
+        """One link's ``(install, usage)`` contribution to the breakdown.
 
         Links that already carry explicit ``install_cost``/``usage_cost``
         annotations are charged exactly those; links without annotations fall
         back to the catalog envelope applied to their current load and length.
+        This is the single source of truth for per-link pricing — both the
+        full :meth:`evaluate` sweep and the incremental objective engine
+        (:mod:`repro.optimization.incremental`) charge links through it, so
+        delta and full evaluations can never disagree on a link's price.
+        """
+        annotated = link.install_cost > 0 or link.usage_cost > 0
+        if annotated or self.catalog is None:
+            install = link.install_cost
+            usage = link.usage_cost * link.load
+        else:
+            install = self.catalog.link_cost(link.load, link.length)
+            usage = 0.0
+        return install + self.fiber_cost_per_length * link.length, usage
+
+    def node_contribution(self, node) -> float:
+        """One node's equipment cost contribution to the breakdown."""
+        return self.node_costs.get(node.role, 0.0)
+
+    def evaluate(self, topology: Topology) -> CostBreakdown:
+        """Compute the cost breakdown of a topology.
+
+        Per-link charging rules live in :meth:`link_contribution`.
         """
         breakdown = CostBreakdown()
         for link in topology.links():
-            annotated = link.install_cost > 0 or link.usage_cost > 0
-            if annotated or self.catalog is None:
-                breakdown.link_install += link.install_cost
-                breakdown.link_usage += link.usage_cost * link.load
-            else:
-                breakdown.link_install += self.catalog.link_cost(link.load, link.length)
-            breakdown.link_install += self.fiber_cost_per_length * link.length
+            install, usage = self.link_contribution(link)
+            breakdown.link_install += install
+            breakdown.link_usage += usage
         for node in topology.nodes():
-            breakdown.node_equipment += self.node_costs.get(node.role, 0.0)
+            breakdown.node_equipment += self.node_contribution(node)
         return breakdown
 
     def total_cost(self, topology: Topology) -> float:

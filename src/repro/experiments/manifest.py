@@ -15,7 +15,11 @@ benchmark harness and the runner tests check.
 The per-scenario ``manifest.json`` lists every task of the sweep in index
 order with its digest and a payload hash, and contains *no* timing fields at
 all: two runs of the same sweep write byte-identical manifests regardless of
-``--jobs``.
+``--jobs``.  It also records an ``environment`` fingerprint (python/scipy
+versions) for provenance — a **non-identity** field: it enters no digest or
+payload hash, so cache addressing and result identity are unaffected by
+toolchain upgrades (manifests from different environments legitimately differ
+in that one field).
 """
 
 from __future__ import annotations
@@ -118,6 +122,27 @@ def identity_view(record_json: Dict[str, object]) -> Dict[str, object]:
     return {k: v for k, v in record_json.items() if k not in TIMING_FIELDS}
 
 
+def environment_fingerprint() -> Dict[str, object]:
+    """Python/scipy versions of the executing environment.
+
+    Recorded in manifests for provenance only — never hashed into task
+    digests or payload hashes, so it cannot invalidate cached results.
+    """
+    import platform
+
+    try:
+        import scipy
+
+        scipy_version: Optional[str] = scipy.__version__
+    except ImportError:  # pragma: no cover - exercised only without scipy
+        scipy_version = None
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "scipy": scipy_version,
+    }
+
+
 def payload_sha256(payload: Dict[str, object]) -> str:
     """Canonical hash of a record payload (manifest integrity field)."""
     return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
@@ -192,6 +217,7 @@ class ResultStore:
             "title": title,
             "mode": mode,
             "base_seed": base_seed,
+            "environment": environment_fingerprint(),
             "num_tasks": len(entries),
             "tasks": entries,
         }

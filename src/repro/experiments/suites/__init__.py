@@ -1,4 +1,4 @@
-"""Built-in experiment suites (E1–E9).
+"""Built-in experiment suites (E1–E10).
 
 Importing this package registers every suite with the engine registry;
 worker processes do the same via
@@ -15,6 +15,7 @@ from . import (  # noqa: F401  (import side effect registers the suites)
     e7_robustness,
     e8_scaling,
     e9_ablations,
+    e10_local_search,
 )
 
 __all__ = [
@@ -27,4 +28,5 @@ __all__ = [
     "e7_robustness",
     "e8_scaling",
     "e9_ablations",
+    "e10_local_search",
 ]

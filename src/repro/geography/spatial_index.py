@@ -27,7 +27,7 @@ float arithmetic, not just in exact arithmetic.
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Container, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..topology.compiled import KERNEL_COUNTERS
 from .regions import Region
@@ -116,6 +116,7 @@ class SpatialGridIndex:
         query: Tuple[float, float],
         alpha: float,
         stop_above: float = math.inf,
+        exclude: Optional[Container[int]] = None,
     ) -> Tuple[Optional[int], float]:
         """Return ``(best_id, best_objective)`` for ``alpha*d + score``.
 
@@ -128,6 +129,11 @@ class SpatialGridIndex:
         comparison).  With a finite ``stop_above`` the result may be ``(None,
         inf)`` when every cell is pruned; any candidate the pruning discards
         is guaranteed to have an objective strictly above ``stop_above``.
+
+        ``exclude`` removes ids from consideration (infeasible attachment
+        targets, e.g. nodes at their degree limit).  Exactness is preserved:
+        excluded points still contribute to cell lower bounds, which only
+        makes pruning more conservative, never wrong.
         """
         if not self._points:
             raise ValueError("cannot query an empty spatial index")
@@ -162,6 +168,8 @@ class SpatialGridIndex:
                 if bound > limit:
                     continue
                 for item_id, x, y, score in bucket:
+                    if exclude is not None and item_id in exclude:
+                        continue
                     objective = alpha * hypot(qx - x, qy - y) + score
                     if objective < best_obj or (
                         objective == best_obj and item_id < best_id

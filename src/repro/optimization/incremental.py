@@ -1,0 +1,723 @@
+"""Incremental objective evaluation: O(Δ) delta-cost moves for local search.
+
+The paper's Section 2.2 frames real networks as outcomes of cost minimization
+/ profit maximization under demand.  Every design loop in this repository —
+the hill climber and annealer in :mod:`repro.optimization.local_search`, the
+ISP design iterations in :mod:`repro.core.isp`, the growth simulator in
+:mod:`repro.core.evolution` — therefore spends its time asking "what would
+this topology cost if I changed one thing?".  Recomputing
+``Objective.evaluate`` from scratch makes each answer O(V + E) (and, before
+this engine, O(V·(V+E)) with the per-core BFS loops); this module answers it
+in O(Δ) for the common moves.
+
+:class:`IncrementalState` owns one *working* topology and maintains, move by
+move:
+
+* the running cost breakdown (per-link install/usage contributions priced
+  through :meth:`repro.economics.cost_model.CostModel.link_contribution`, the
+  same single source of truth the canonical ``evaluate`` uses, plus node
+  equipment costs);
+* the served-customer aggregates (served demand and served revenue) via a
+  **rollback union-find** over node ids whose per-component aggregates record
+  whether the component contains a core and how much customer demand/revenue
+  it holds — link and node additions are O(α(n)) unions, with exact-undo
+  tokens so rejected moves revert in O(1);
+* customer→core hop distances (for the performance-blended objective) via
+  **one** multi-source search on ``Topology.compiled()`` instead of one BFS
+  per core, cached per topology version.
+
+Moves are first-class (:class:`AddLink`, :class:`RemoveLink`,
+:class:`AddNode`, :class:`UpgradeCable`, :class:`Rewire`) with exact undo:
+``apply(move)`` returns the score delta and pushes an undo record,
+``revert()`` pops it and restores every scalar *by assignment* (not inverse
+arithmetic), so a revert lands on bit-identical state.
+
+When the engine falls back to full recomputation
+------------------------------------------------
+
+* **Deletions** (``RemoveLink`` and the removal half of ``Rewire``): a union-
+  find cannot split, so reachability is rebuilt with one mask-capable
+  component sweep over ``Topology.compiled()`` — O(V + E), still one
+  compiled-graph pass instead of per-core BFS loops.  The undo record keeps a
+  snapshot of the previous union-find, so reverting a deletion is O(V) copies,
+  not a second sweep.
+* **Hop distances**: any structural move invalidates the cached distances;
+  the next score of a performance-weighted objective runs one multi-source
+  search.  Pure cost/profit objectives never pay this.
+* **Everything else** (unknown objective types, out-of-band topology edits):
+  call :meth:`IncrementalState.rebuild`, which is exactly one canonical full
+  evaluation.
+
+``KERNEL_COUNTERS.objective_full_evals`` counts canonical evaluations (and
+rebuilds); ``KERNEL_COUNTERS.objective_delta_evals`` counts applied moves.
+The E10 benchmark gate asserts delta evaluations dominate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..topology.compiled import KERNEL_COUNTERS, components_indices
+from ..topology.graph import Topology, TopologyError
+from ..topology.link import Link, edge_key
+from ..topology.node import NodeRole
+
+__all__ = [
+    "Move",
+    "AddLink",
+    "RemoveLink",
+    "AddNode",
+    "UpgradeCable",
+    "Rewire",
+    "IncrementalState",
+]
+
+
+# ----------------------------------------------------------------------
+# Move vocabulary
+# ----------------------------------------------------------------------
+class Move:
+    """Base class of the typed move vocabulary.
+
+    Moves are declarative: they carry *what* to change, and
+    :class:`IncrementalState` carries *how* to price it and undo it.  A move
+    that would violate a structural constraint (duplicate link, missing node,
+    ``max_degree``) raises :class:`~repro.topology.graph.TopologyError` from
+    ``apply`` without corrupting the state.
+    """
+
+    def _apply(self, state: "IncrementalState") -> "_UndoRecord":
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class AddLink(Move):
+    """Install a new link between two existing nodes.
+
+    ``length=None`` derives the Euclidean length from the endpoint locations
+    (the :meth:`Topology.add_link` rule).  Annotations follow the cost model's
+    charging convention: explicitly priced links are charged their
+    ``install_cost``/``usage_cost``; unannotated links fall back to the
+    catalog envelope for their load and length.
+    """
+
+    u: Any
+    v: Any
+    capacity: Optional[float] = None
+    length: Optional[float] = None
+    cable: Optional[str] = None
+    install_cost: float = 0.0
+    usage_cost: float = 0.0
+    load: float = 0.0
+
+    def _apply(self, state: "IncrementalState") -> "_UndoRecord":
+        record = state._snapshot(self)
+        state._add_link_inner(
+            record,
+            self.u,
+            self.v,
+            capacity=self.capacity,
+            length=self.length,
+            cable=self.cable,
+            install_cost=self.install_cost,
+            usage_cost=self.usage_cost,
+            load=self.load,
+        )
+        return record
+
+
+@dataclass(frozen=True)
+class RemoveLink(Move):
+    """Tear out the link between ``u`` and ``v`` (the deletion fallback path)."""
+
+    u: Any
+    v: Any
+
+    def _apply(self, state: "IncrementalState") -> "_UndoRecord":
+        record = state._snapshot(self)
+        state._remove_link_inner(record, self.u, self.v)
+        return record
+
+
+@dataclass(frozen=True)
+class AddNode(Move):
+    """Add a node, optionally attaching it to existing nodes.
+
+    ``attach_to`` links are added unannotated (priced by the catalog envelope
+    at zero load unless upgraded later); pass explicit :class:`AddLink` moves
+    separately when the new links need annotations.
+    """
+
+    node_id: Any
+    role: NodeRole = NodeRole.GENERIC
+    location: Optional[Tuple[float, float]] = None
+    demand: float = 0.0
+    attach_to: Tuple[Any, ...] = ()
+
+    def _apply(self, state: "IncrementalState") -> "_UndoRecord":
+        record = state._snapshot(self)
+        topology = state.topology
+        node = topology.add_node(
+            self.node_id, role=self.role, location=self.location, demand=self.demand
+        )
+        record.structure_undo.append(lambda: topology.remove_node(self.node_id))
+        equipment = state._cost_model.node_contribution(node) if state._cost_model else 0.0
+        state._node_equipment += equipment
+        is_customer = self.role == NodeRole.CUSTOMER
+        revenue = state._revenue_of(node) if is_customer else 0.0
+        state._reach.add(
+            self.node_id,
+            is_core=self.role == NodeRole.CORE,
+            demand=self.demand if is_customer else 0.0,
+            revenue=revenue,
+        )
+        record.structure_undo.append(lambda: state._reach.discard(self.node_id))
+        if is_customer:
+            state._total_customer_demand += self.demand
+            state._total_customer_revenue += revenue
+        try:
+            for target in self.attach_to:
+                state._add_link_inner(record, self.node_id, target)
+        except TopologyError:
+            state._unwind(record)
+            raise
+        return record
+
+
+@dataclass(frozen=True)
+class UpgradeCable(Move):
+    """Re-provision a link's cable annotations in place (no structural change).
+
+    ``None`` fields keep the link's current value.  This is the O(1) move:
+    only the touched link's price is recomputed.
+    """
+
+    u: Any
+    v: Any
+    cable: Optional[str] = None
+    capacity: Optional[float] = None
+    install_cost: Optional[float] = None
+    usage_cost: Optional[float] = None
+    load: Optional[float] = None
+
+    def _apply(self, state: "IncrementalState") -> "_UndoRecord":
+        record = state._snapshot(self)
+        link = state.topology.link(self.u, self.v)
+        saved = (link.cable, link.capacity, link.install_cost, link.usage_cost, link.load)
+
+        def restore(link=link, saved=saved):
+            link.cable, link.capacity, link.install_cost, link.usage_cost, link.load = saved
+
+        if self.cable is not None:
+            link.cable = self.cable
+        if self.capacity is not None:
+            link.capacity = self.capacity
+        if self.install_cost is not None:
+            link.install_cost = self.install_cost
+        if self.usage_cost is not None:
+            link.usage_cost = self.usage_cost
+        if self.load is not None:
+            link.load = self.load
+        record.structure_undo.append(restore)
+        state._reprice_link(record, link)
+        return record
+
+
+@dataclass(frozen=True)
+class Rewire(Move):
+    """Move one of ``node``'s links from ``old_neighbor`` to ``new_neighbor``.
+
+    The replacement link carries the old link's cable/capacity/load with its
+    install and usage costs rescaled by the length ratio (a cable run moved to
+    a different street), so rewiring toward a closer attachment point
+    genuinely reduces cost.  Composite: one deletion (fallback sweep) plus one
+    addition.
+    """
+
+    node: Any
+    old_neighbor: Any
+    new_neighbor: Any
+
+    def _apply(self, state: "IncrementalState") -> "_UndoRecord":
+        record = state._snapshot(self)
+        topology = state.topology
+        old_link = topology.link(self.node, self.old_neighbor)
+        if topology.has_link(self.node, self.new_neighbor):
+            raise TopologyError(
+                f"link {edge_key(self.node, self.new_neighbor)} already exists"
+            )
+        old_length = old_link.length
+        loc_a = topology.node(self.node).location
+        loc_b = topology.node(self.new_neighbor).location
+        if loc_a is None or loc_b is None:
+            new_length = 0.0
+        else:
+            # Same sqrt-of-squares form as Topology._euclidean_length, so the
+            # explicit length is bit-identical to what add_link would derive.
+            new_length = ((loc_a[0] - loc_b[0]) ** 2 + (loc_a[1] - loc_b[1]) ** 2) ** 0.5
+        scale = (new_length / old_length) if old_length > 0 else 1.0
+        try:
+            state._remove_link_inner(record, self.node, self.old_neighbor)
+            state._add_link_inner(
+                record,
+                self.node,
+                self.new_neighbor,
+                capacity=old_link.capacity,
+                length=new_length,
+                cable=old_link.cable,
+                install_cost=old_link.install_cost * scale,
+                usage_cost=old_link.usage_cost * scale,
+                load=old_link.load,
+            )
+        except TopologyError:
+            state._unwind(record)
+            raise
+        return record
+
+
+# ----------------------------------------------------------------------
+# Rollback union-find with per-component service aggregates
+# ----------------------------------------------------------------------
+class _ReachabilityIndex:
+    """Union-find over node ids tracking core reachability aggregates.
+
+    Union by size without path compression, so unions are undoable in O(1)
+    from an exact token (old parent/size/aggregate values are stored, never
+    re-derived by inverse arithmetic).  Find is O(log n) amortized, which is
+    the right trade for a structure that must rewind thousands of rejected
+    moves bit-exactly.
+    """
+
+    __slots__ = ("parent", "size", "has_core", "demand", "revenue")
+
+    def __init__(self) -> None:
+        self.parent: Dict[Any, Any] = {}
+        self.size: Dict[Any, int] = {}
+        self.has_core: Dict[Any, bool] = {}
+        self.demand: Dict[Any, float] = {}
+        self.revenue: Dict[Any, float] = {}
+
+    def clear(self) -> None:
+        self.parent.clear()
+        self.size.clear()
+        self.has_core.clear()
+        self.demand.clear()
+        self.revenue.clear()
+
+    def add(self, node_id: Any, is_core: bool, demand: float, revenue: float) -> None:
+        self.parent[node_id] = node_id
+        self.size[node_id] = 1
+        self.has_core[node_id] = is_core
+        self.demand[node_id] = demand
+        self.revenue[node_id] = revenue
+
+    def discard(self, node_id: Any) -> None:
+        """Remove a node that is currently a singleton (AddNode undo)."""
+        del self.parent[node_id]
+        del self.size[node_id]
+        del self.has_core[node_id]
+        del self.demand[node_id]
+        del self.revenue[node_id]
+
+    def find(self, node_id: Any) -> Any:
+        parent = self.parent
+        while parent[node_id] != node_id:
+            node_id = parent[node_id]
+        return node_id
+
+    def union(self, a: Any, b: Any) -> Optional[Tuple]:
+        """Merge the components of ``a`` and ``b``; returns an undo token.
+
+        Returns ``None`` when they are already one component.
+        """
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return None
+        if self.size[ra] < self.size[rb]:
+            ra, rb = rb, ra
+        token = (
+            rb,
+            ra,
+            self.has_core[ra],
+            self.size[ra],
+            self.demand[ra],
+            self.revenue[ra],
+        )
+        self.parent[rb] = ra
+        self.size[ra] += self.size[rb]
+        self.demand[ra] += self.demand[rb]
+        self.revenue[ra] += self.revenue[rb]
+        self.has_core[ra] = self.has_core[ra] or self.has_core[rb]
+        return token
+
+    def undo_union(self, token: Tuple) -> None:
+        rb, ra, core, size, demand, revenue = token
+        self.parent[rb] = rb
+        self.has_core[ra] = core
+        self.size[ra] = size
+        self.demand[ra] = demand
+        self.revenue[ra] = revenue
+
+    def snapshot(self) -> Tuple[Dict, Dict, Dict, Dict, Dict]:
+        return (
+            dict(self.parent),
+            dict(self.size),
+            dict(self.has_core),
+            dict(self.demand),
+            dict(self.revenue),
+        )
+
+    def restore(self, snap: Tuple[Dict, Dict, Dict, Dict, Dict]) -> None:
+        self.parent = dict(snap[0])
+        self.size = dict(snap[1])
+        self.has_core = dict(snap[2])
+        self.demand = dict(snap[3])
+        self.revenue = dict(snap[4])
+
+
+@dataclass
+class _UndoRecord:
+    """Everything needed to rewind one applied move bit-exactly."""
+
+    move: Move
+    scalars: Tuple[float, float, float, float, float, float, float]
+    hops_cache: Optional[Tuple[int, float]]
+    structure_undo: List[Callable[[], None]] = field(default_factory=list)
+
+
+# ----------------------------------------------------------------------
+# The incremental state
+# ----------------------------------------------------------------------
+class IncrementalState:
+    """A working topology plus an incrementally maintained objective score.
+
+    Args:
+        topology: The topology the search mutates **in place**.
+        objective: A :class:`~repro.core.objectives.CostObjective`,
+            :class:`~repro.core.objectives.ProfitObjective`, or
+            :class:`~repro.core.objectives.PerformanceCostObjective`.
+
+    The state assumes it is the only mutator while a search session runs:
+    node demands, roles, and link annotations changed behind its back require
+    a :meth:`rebuild`.  ``score`` matches ``objective.evaluate(topology)`` to
+    float accumulation order (property-tested to 1e-9 relative tolerance).
+    """
+
+    def __init__(self, topology: Topology, objective: Any) -> None:
+        self.topology = topology
+        self.objective = objective
+        (
+            self._cost_model,
+            self._demand_penalty,
+            self._revenue_model,
+            self._performance_weight,
+        ) = _objective_spec(objective)
+        self._undo: List[_UndoRecord] = []
+        self.rebuild()
+
+    # -- construction / fallback ---------------------------------------
+    def rebuild(self) -> None:
+        """Recompute every component from scratch (one canonical full eval)."""
+        KERNEL_COUNTERS.objective_full_evals += 1
+        topology = self.topology
+        self._link_install = 0.0
+        self._link_usage = 0.0
+        self._node_equipment = 0.0
+        self._total_customer_demand = 0.0
+        self._total_customer_revenue = 0.0
+        self._link_contrib: Dict[Tuple[Any, Any], Tuple[float, float]] = {}
+        cost_model = self._cost_model
+        for link in topology.links():
+            install, usage = cost_model.link_contribution(link)
+            self._link_contrib[link.key] = (install, usage)
+            self._link_install += install
+            self._link_usage += usage
+        for node in topology.nodes():
+            self._node_equipment += cost_model.node_contribution(node)
+            if node.role == NodeRole.CUSTOMER:
+                self._total_customer_demand += node.demand
+                self._total_customer_revenue += self._revenue_of(node)
+        self._rebuild_reachability()
+        self._hops_cache: Optional[Tuple[int, float]] = None
+        self._undo.clear()
+
+    def _rebuild_reachability(self) -> None:
+        """One compiled-graph component sweep → fresh union-find + aggregates.
+
+        Refills the state's single long-lived :class:`_ReachabilityIndex`
+        **in place**: undo closures from earlier moves hold a reference to
+        that object, so its identity must survive deletion rebuilds.
+        """
+        topology = self.topology
+        graph = topology.compiled()
+        labels, count = components_indices(graph)
+        reach = getattr(self, "_reach", None)
+        if reach is None:
+            reach = _ReachabilityIndex()
+            self._reach = reach
+        else:
+            reach.clear()
+        roots: List[Any] = [None] * count
+        ids = graph.ids
+        nodes = topology._nodes  # same-package structural access
+        for index, label in enumerate(labels):
+            node_id = ids[index]
+            node = nodes[node_id]
+            is_customer = node.role == NodeRole.CUSTOMER
+            if roots[label] is None:
+                roots[label] = node_id
+                reach.add(
+                    node_id,
+                    is_core=node.role == NodeRole.CORE,
+                    demand=node.demand if is_customer else 0.0,
+                    revenue=self._revenue_of(node) if is_customer else 0.0,
+                )
+            else:
+                root = roots[label]
+                reach.parent[node_id] = root
+                reach.size[node_id] = 1
+                reach.has_core[node_id] = False
+                reach.demand[node_id] = 0.0
+                reach.revenue[node_id] = 0.0
+                reach.size[root] += 1
+                reach.has_core[root] = reach.has_core[root] or node.role == NodeRole.CORE
+                if is_customer:
+                    reach.demand[root] += node.demand
+                    reach.revenue[root] += self._revenue_of(node)
+        served_demand = 0.0
+        served_revenue = 0.0
+        for root in roots:
+            if root is not None and reach.has_core[root]:
+                served_demand += reach.demand[root]
+                served_revenue += reach.revenue[root]
+        self._served_demand = served_demand
+        self._served_revenue = served_revenue
+
+    def _revenue_of(self, node: Any) -> float:
+        if self._revenue_model is None:
+            return 0.0
+        return self._revenue_model.revenue_for_demand(node.demand)
+
+    # -- scoring -------------------------------------------------------
+    @property
+    def score(self) -> float:
+        """Current objective value of the working topology (lower is better)."""
+        value = self._link_install + self._link_usage + self._node_equipment
+        if self._demand_penalty is not None:
+            value += self._demand_penalty * (
+                self._total_customer_demand - self._served_demand
+            )
+        if self._revenue_model is not None:
+            value -= self._served_revenue
+        if self._performance_weight:
+            value += self._performance_weight * self._mean_customer_hops()
+        return value
+
+    @property
+    def unserved_demand(self) -> float:
+        """Demand of customers currently cut off from every core."""
+        return self._total_customer_demand - self._served_demand
+
+    @property
+    def served_demand(self) -> float:
+        """Demand of customers currently connected to a core."""
+        return self._served_demand
+
+    def is_served(self, node_id: Any) -> bool:
+        """Whether ``node_id``'s component contains a core node."""
+        return self._reach.has_core[self._reach.find(node_id)]
+
+    def _mean_customer_hops(self) -> float:
+        version = self.topology.version
+        cached = self._hops_cache
+        if cached is None or cached[0] != version:
+            from ..core.objectives import mean_customer_hops
+
+            self._hops_cache = (version, mean_customer_hops(self.topology))
+        return self._hops_cache[1]
+
+    def verify(self, tolerance: float = 1e-9) -> float:
+        """Assert the incremental score matches a canonical full evaluation.
+
+        Returns the canonical score.  Used by property tests and the E10
+        equality gates; costs one ``objective_full_evals``.
+        """
+        full = self.objective.evaluate(self.topology)
+        incremental = self.score
+        scale = max(1.0, abs(full))
+        if abs(full - incremental) > tolerance * scale:
+            raise AssertionError(
+                f"incremental score {incremental!r} diverged from full "
+                f"evaluation {full!r}"
+            )
+        return full
+
+    # -- move application ----------------------------------------------
+    @property
+    def undo_depth(self) -> int:
+        """Number of applied-but-not-reverted moves (for :meth:`revert_to`)."""
+        return len(self._undo)
+
+    def apply(self, move: Move) -> float:
+        """Apply a move in place; returns ``score_after - score_before``.
+
+        Raises :class:`~repro.topology.graph.TopologyError` (state unchanged)
+        when the move is structurally infeasible.
+        """
+        before = self.score
+        record = move._apply(self)
+        self._undo.append(record)
+        KERNEL_COUNTERS.objective_delta_evals += 1
+        return self.score - before
+
+    def revert(self, move: Optional[Move] = None) -> None:
+        """Undo the most recently applied move (LIFO only)."""
+        if not self._undo:
+            raise ValueError("no applied move to revert")
+        record = self._undo[-1]
+        if move is not None and record.move is not move:
+            raise ValueError("revert must target the most recently applied move")
+        self._undo.pop()
+        self._unwind(record)
+
+    def revert_to(self, depth: int) -> None:
+        """Rewind until :attr:`undo_depth` equals ``depth``.
+
+        This is how searches return the *best* solution without ever copying
+        a topology: accepted moves stay on the undo stack, and the suffix past
+        the best-so-far depth is rolled back at the end.
+        """
+        if depth < 0 or depth > len(self._undo):
+            raise ValueError(f"cannot revert to depth {depth}")
+        while len(self._undo) > depth:
+            self._unwind(self._undo.pop())
+
+    # -- internals -----------------------------------------------------
+    def _snapshot(self, move: Move) -> _UndoRecord:
+        return _UndoRecord(
+            move=move,
+            scalars=(
+                self._link_install,
+                self._link_usage,
+                self._node_equipment,
+                self._total_customer_demand,
+                self._total_customer_revenue,
+                self._served_demand,
+                self._served_revenue,
+            ),
+            hops_cache=self._hops_cache,
+        )
+
+    def _unwind(self, record: _UndoRecord) -> None:
+        for undo in reversed(record.structure_undo):
+            undo()
+        (
+            self._link_install,
+            self._link_usage,
+            self._node_equipment,
+            self._total_customer_demand,
+            self._total_customer_revenue,
+            self._served_demand,
+            self._served_revenue,
+        ) = record.scalars
+        self._hops_cache = record.hops_cache
+
+    def _add_link_inner(self, record: _UndoRecord, u: Any, v: Any, **link_kwargs) -> None:
+        topology = self.topology
+        link = topology.add_link(u, v, **link_kwargs)
+        record.structure_undo.append(lambda: topology.remove_link(u, v))
+        key = link.key
+        old_contrib = self._link_contrib.get(key)
+        install, usage = self._cost_model.link_contribution(link)
+        self._link_contrib[key] = (install, usage)
+        record.structure_undo.append(
+            lambda: self._restore_contrib(key, old_contrib)
+        )
+        self._link_install += install
+        self._link_usage += usage
+        reach = self._reach
+        ra, rb = reach.find(u), reach.find(v)
+        if ra != rb:
+            core_a, core_b = reach.has_core[ra], reach.has_core[rb]
+            if core_a and not core_b:
+                self._served_demand += reach.demand[rb]
+                self._served_revenue += reach.revenue[rb]
+            elif core_b and not core_a:
+                self._served_demand += reach.demand[ra]
+                self._served_revenue += reach.revenue[ra]
+            token = reach.union(ra, rb)
+            record.structure_undo.append(lambda: reach.undo_union(token))
+
+    def _remove_link_inner(self, record: _UndoRecord, u: Any, v: Any) -> None:
+        topology = self.topology
+        link = topology.link(u, v)
+        topology.remove_link(u, v)
+        # Re-insert the *original* Link object on revert: earlier undo records
+        # (e.g. an UpgradeCable restore) hold references to it, so replacing
+        # it with a copy would leave them mutating a dead object.
+        record.structure_undo.append(lambda: topology.add_link_object(link))
+        key = link.key
+        old_contrib = self._link_contrib.pop(key, None)
+        if old_contrib is not None:
+            self._link_install -= old_contrib[0]
+            self._link_usage -= old_contrib[1]
+        record.structure_undo.append(lambda: self._restore_contrib(key, old_contrib))
+        # A union-find cannot split: rebuild reachability with one compiled-
+        # graph sweep, and keep the old structure for an O(V) exact revert.
+        # The restore goes through ``self._reach`` so it lands on whichever
+        # index object is current after the rebuild.
+        snap = self._reach.snapshot()
+        record.structure_undo.append(lambda: self._reach.restore(snap))
+        self._rebuild_reachability()
+
+    def _restore_contrib(
+        self, key: Tuple[Any, Any], old: Optional[Tuple[float, float]]
+    ) -> None:
+        if old is None:
+            self._link_contrib.pop(key, None)
+        else:
+            self._link_contrib[key] = old
+
+    def _reprice_link(self, record: _UndoRecord, link: Link) -> None:
+        key = link.key
+        old_contrib = self._link_contrib.get(key)
+        if old_contrib is not None:
+            self._link_install -= old_contrib[0]
+            self._link_usage -= old_contrib[1]
+        install, usage = self._cost_model.link_contribution(link)
+        self._link_contrib[key] = (install, usage)
+        record.structure_undo.append(lambda: self._restore_contrib(key, old_contrib))
+        self._link_install += install
+        self._link_usage += usage
+
+
+def _objective_spec(objective: Any):
+    """Extract ``(cost_model, demand_penalty, revenue_model, weight)``.
+
+    Imported lazily to keep :mod:`repro.optimization` importable before
+    :mod:`repro.core` (which itself imports optimization submodules).
+    """
+    from ..core.objectives import (
+        CostObjective,
+        PerformanceCostObjective,
+        ProfitObjective,
+    )
+
+    if isinstance(objective, PerformanceCostObjective):
+        inner = objective.cost_objective
+        return (
+            inner.cost_model,
+            inner.demand_penalty,
+            None,
+            objective.performance_weight,
+        )
+    if isinstance(objective, ProfitObjective):
+        return objective.cost_model, None, objective.revenue_model, 0.0
+    if isinstance(objective, CostObjective):
+        return objective.cost_model, objective.demand_penalty, None, 0.0
+    raise TypeError(
+        f"IncrementalState supports the built-in objective types, got "
+        f"{type(objective).__name__}; fall back to Objective.evaluate for "
+        f"custom objectives"
+    )

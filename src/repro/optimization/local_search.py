@@ -6,6 +6,25 @@ approximate optimizers for the problems that are NP-hard (buy-at-bulk, access
 design): this module provides a hill climber and a simulated annealer over
 arbitrary solution/neighborhood abstractions, used by the design-refinement
 passes and by the ablation benchmarks.
+
+Two neighbor APIs share the acceptance logic:
+
+* the original **copy-based** API (`hill_climb`, `simulated_annealing`,
+  `multi_start`): ``neighbor(solution, rng)`` returns a fresh candidate and
+  ``cost(candidate)`` prices it from scratch — O(copy + full evaluation) per
+  iteration.  Kept as the compatibility path for cheap solution types
+  (scalars, permutations) and as the E10 baseline.
+* the **move-based** API (`hill_climb_moves`, `simulated_annealing_moves`,
+  `multi_start_moves`): ``propose(state, rng)`` returns a typed
+  :class:`~repro.optimization.incremental.Move`, the state applies it in
+  O(Δ), and rejected moves are reverted bit-exactly.  The best solution is
+  recovered by rolling the undo stack back to the best-scoring depth — no
+  topology is ever copied.
+
+Both APIs draw from ``rng`` in the same order (one neighbor/proposal per
+iteration, one acceptance draw for uphill annealing moves only), so a
+deterministic proposal function produces the same search trajectory through
+either API — the property the E10 benchmark gates.
 """
 
 from __future__ import annotations
@@ -15,7 +34,35 @@ import random
 from dataclasses import dataclass, field
 from typing import Callable, Generic, List, Optional, Tuple, TypeVar
 
+from ..topology.graph import Topology, TopologyError
+from .incremental import Move
+
 Solution = TypeVar("Solution")
+
+#: A move proposal: returns the next candidate move, or ``None`` when no
+#: feasible move exists in this neighborhood draw (counted as a rejection).
+MoveProposal = Callable[["MoveState", random.Random], Optional[Move]]
+
+
+class MoveState:
+    """Structural protocol for move-based search state (duck-typed).
+
+    :class:`repro.optimization.incremental.IncrementalState` is the canonical
+    implementation; anything exposing ``score``, ``apply``, ``revert``,
+    ``undo_depth``, ``revert_to`` and ``topology`` works.
+    """
+
+    score: float
+    topology: Topology
+
+    def apply(self, move: Move) -> float:  # pragma: no cover - protocol only
+        raise NotImplementedError
+
+    def revert(self, move: Optional[Move] = None) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def revert_to(self, depth: int) -> None:  # pragma: no cover
+        raise NotImplementedError
 
 
 @dataclass
@@ -179,6 +226,147 @@ def multi_start(
     combined_history: List[float] = []
     for start in starts:
         result = hill_climb(start, cost, neighbor, max_iterations=max_iterations, rng=rng)
+        total_iterations += result.iterations
+        total_accepted += result.accepted_moves
+        combined_history.extend(result.history)
+        if best_result is None or result.best_cost < best_result.best_cost:
+            best_result = result
+    assert best_result is not None
+    return SearchResult(
+        best_solution=best_result.best_solution,
+        best_cost=best_result.best_cost,
+        iterations=total_iterations,
+        accepted_moves=total_accepted,
+        history=combined_history,
+    )
+
+
+def hill_climb_moves(
+    state: MoveState,
+    propose: MoveProposal,
+    max_iterations: int = 1000,
+    patience: int = 100,
+    rng: Optional[random.Random] = None,
+) -> SearchResult[Topology]:
+    """First-improvement hill climbing over one in-place working topology.
+
+    Mirrors :func:`hill_climb`'s control flow, but each candidate is a typed
+    move applied in O(Δ) through the incremental engine and reverted when it
+    does not improve.  ``best_solution`` is the state's topology, rolled back
+    to the best depth (for pure descent that is always the final incumbent).
+    """
+    if max_iterations < 0 or patience < 0:
+        raise ValueError("max_iterations and patience must be non-negative")
+    rng = rng or random.Random()
+    current = state.score
+    best = current
+    best_depth = state.undo_depth
+    history = [current]
+    stale = 0
+    accepted = 0
+    iterations = 0
+    for iterations in range(1, max_iterations + 1):
+        move = propose(state, rng)
+        delta = None
+        if move is not None:
+            try:
+                delta = state.apply(move)
+            except TopologyError:
+                delta = None  # infeasible proposal; state unchanged
+        if delta is not None and delta < 0:
+            current = state.score
+            accepted += 1
+            stale = 0
+            if current < best:
+                best = current
+                best_depth = state.undo_depth
+        else:
+            if delta is not None:
+                state.revert(move)
+            stale += 1
+        history.append(current)
+        if stale >= patience:
+            break
+    state.revert_to(best_depth)
+    return SearchResult(
+        best_solution=state.topology,
+        best_cost=best,
+        iterations=iterations,
+        accepted_moves=accepted,
+        history=history,
+    )
+
+
+def simulated_annealing_moves(
+    state: MoveState,
+    propose: MoveProposal,
+    schedule: Optional[AnnealingSchedule] = None,
+    max_iterations: int = 5000,
+    rng: Optional[random.Random] = None,
+) -> SearchResult[Topology]:
+    """Simulated annealing over one in-place working topology.
+
+    Acceptance matches :func:`simulated_annealing` exactly — uphill moves
+    draw ``rng.random()`` only when ``delta > 0`` — so a proposal function
+    that mirrors a copy-based neighbor consumes the same random stream and
+    follows the same trajectory.  At the end the undo stack is rolled back to
+    the best-ever depth, so ``best_solution`` *is* the best topology visited.
+    """
+    rng = rng or random.Random()
+    schedule = schedule or AnnealingSchedule()
+    current = state.score
+    best = current
+    best_depth = state.undo_depth
+    history = [current]
+    accepted = 0
+    temperatures = schedule.temperatures(max_iterations)
+    for temperature in temperatures:
+        move = propose(state, rng)
+        if move is None:
+            history.append(current)
+            continue
+        try:
+            delta = state.apply(move)
+        except TopologyError:
+            history.append(current)
+            continue
+        if delta <= 0 or rng.random() < math.exp(-delta / temperature):
+            current = state.score
+            accepted += 1
+            if current < best:
+                best = current
+                best_depth = state.undo_depth
+        else:
+            state.revert(move)
+        history.append(current)
+    state.revert_to(best_depth)
+    return SearchResult(
+        best_solution=state.topology,
+        best_cost=best,
+        iterations=len(temperatures),
+        accepted_moves=accepted,
+        history=history,
+    )
+
+
+def multi_start_moves(
+    states: List[MoveState],
+    propose: MoveProposal,
+    max_iterations: int = 500,
+    rng: Optional[random.Random] = None,
+) -> SearchResult[Topology]:
+    """Move-based :func:`multi_start`: hill-climb each state, keep the best."""
+    if not states:
+        raise ValueError("at least one starting state is required")
+    rng = rng or random.Random()
+    best_result: Optional[SearchResult[Topology]] = None
+    total_iterations = 0
+    total_accepted = 0
+    combined_history: List[float] = []
+    for state in states:
+        result = hill_climb_moves(
+            state, propose, max_iterations=max_iterations, rng=rng
+        )
         total_iterations += result.iterations
         total_accepted += result.accepted_moves
         combined_history.extend(result.history)

@@ -72,7 +72,11 @@ class KernelCounters:
     and that generator growth performs O(n log n) sampler operations
     (``sampler_draws``/``sampler_updates``) and a bounded number of spatial
     candidate evaluations (``spatial_queries``/``spatial_candidates``) instead
-    of the seed's O(n^2) scans.
+    of the seed's O(n^2) scans.  The incremental objective engine
+    (:mod:`repro.optimization.incremental`) records every canonical
+    ``Objective.evaluate`` as ``objective_full_evals`` and every O(Δ)
+    move evaluation as ``objective_delta_evals``, so benchmarks can assert
+    that local search runs almost entirely on delta evaluations.
     """
 
     __slots__ = (
@@ -85,6 +89,8 @@ class KernelCounters:
         "sampler_updates",
         "spatial_queries",
         "spatial_candidates",
+        "objective_full_evals",
+        "objective_delta_evals",
     )
 
     def __init__(self) -> None:

@@ -372,14 +372,21 @@ class Topology:
         return self.num_links == self.num_nodes - len(self.connected_components())
 
     def subgraph(self, node_ids: Iterable[Any], name: Optional[str] = None) -> "Topology":
-        """Return the induced subgraph on ``node_ids`` (copies annotations)."""
+        """Return the induced subgraph on ``node_ids`` (copies annotations).
+
+        Nodes and links are inserted in this topology's insertion order, so
+        subgraphs (and :meth:`copy`) iterate deterministically regardless of
+        ``PYTHONHASHSEED`` — float accumulations over a copy reproduce the
+        original's summation order.
+        """
         keep = set(node_ids)
         missing = keep - set(self._nodes)
         if missing:
             raise TopologyError(f"nodes not in topology: {sorted(map(repr, missing))}")
         sub = Topology(name=name or f"{self.name}-subgraph")
-        for node_id in keep:
-            sub.add_node_object(self._copy_node(self._nodes[node_id]))
+        for node_id in self._nodes:
+            if node_id in keep:
+                sub.add_node_object(self._copy_node(self._nodes[node_id]))
         for link in self._links.values():
             if link.source in keep and link.target in keep:
                 sub.add_link_object(self._copy_link(link))

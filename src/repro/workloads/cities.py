@@ -89,9 +89,7 @@ def metro_customers(
     rng = random.Random(seed)
     region = region or metro_region()
     if clustered:
-        locations = region.sample_clustered(
-            num_customers, max(3, num_customers // 40), rng
-        )
+        locations = region.sample_clustered(num_customers, max(3, num_customers // 40), rng)
     else:
         locations = region.sample_uniform(num_customers, rng)
     customers = [

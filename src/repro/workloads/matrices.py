@@ -16,9 +16,7 @@ def national_gravity_matrix(
 ) -> DemandMatrix:
     """Gravity demand over the largest cities of a population model."""
     cities = population.largest(num_cities) if num_cities else list(population.cities)
-    return gravity_demand(
-        cities, total_volume=total_volume, distance_exponent=distance_exponent
-    )
+    return gravity_demand(cities, total_volume=total_volume, distance_exponent=distance_exponent)
 
 
 def national_uniform_matrix(

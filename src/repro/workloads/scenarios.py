@@ -32,7 +32,8 @@ class Scenario:
 
 def fkp_phase_scenario(num_nodes: int = 1000, seed: int = 7) -> Scenario:
     """E1: FKP alpha sweep across the three regimes."""
-    alphas = [0.1, 4.0, 10.0, math.sqrt(num_nodes) / 2.0, 2.0 * math.sqrt(num_nodes), float(num_nodes)]
+    sqrt_n = math.sqrt(num_nodes)
+    alphas = [0.1, 4.0, 10.0, sqrt_n / 2.0, 2.0 * sqrt_n, float(num_nodes)]
     return Scenario(
         experiment_id="E1",
         title="FKP tradeoff phase diagram",
@@ -84,9 +85,7 @@ def cable_economics_scenario(
     )
 
 
-def isp_hierarchy_scenario(
-    city_counts: Sequence[int] = (10, 20, 30), seed: int = 17
-) -> Scenario:
+def isp_hierarchy_scenario(city_counts: Sequence[int] = (10, 20, 30), seed: int = 17) -> Scenario:
     """E4: single-ISP hierarchy as a function of the served population."""
     return Scenario(
         experiment_id="E4",
@@ -202,6 +201,40 @@ def ablations_scenario(seed: int = 41) -> Scenario:
     )
 
 
+def local_search_scenario(
+    sizes: Sequence[int] = (400, 2000),
+    anneal_iterations: int = 1200,
+    seed: int = 43,
+) -> Scenario:
+    """E10 (supplementary): incremental objective evaluation for local search.
+
+    Not a figure from the paper; it gates the engineering claim behind the
+    Section 2.2 optimization loops — move-based annealing with O(Δ) delta
+    evaluation must visit the same designs as copy-based full re-evaluation.
+    """
+    return Scenario(
+        experiment_id="E10",
+        title="Incremental delta-cost evaluation for local search",
+        paper_claim=(
+            "Supplementary: simulated annealing over typed topology moves with "
+            "incremental objective evaluation reproduces the copy-based search "
+            "trajectory (score-identical best designs) at a fraction of the "
+            "per-candidate cost."
+        ),
+        parameters={
+            "seed": seed,
+            "sizes": list(sizes),
+            "objectives": ["cost", "profit"],
+            "anneal_iterations": anneal_iterations,
+            "isp_refine": {
+                "num_cities": 10,
+                "feeder_algorithm": "star",
+                "refine_iterations": 400,
+            },
+        },
+    )
+
+
 def all_scenarios() -> List[Scenario]:
     """Every experiment scenario, in experiment order."""
     return [
@@ -216,7 +249,8 @@ def all_scenarios() -> List[Scenario]:
     ]
 
 
-#: Factory per experiment id (E9 is supplementary; see :func:`ablations_scenario`).
+#: Factory per experiment id (E9/E10 are supplementary; see
+#: :func:`ablations_scenario` and :func:`local_search_scenario`).
 SCENARIO_FACTORIES: Dict[str, Callable[..., Scenario]] = {
     "E1": fkp_phase_scenario,
     "E2": buy_at_bulk_scenario,
@@ -227,6 +261,7 @@ SCENARIO_FACTORIES: Dict[str, Callable[..., Scenario]] = {
     "E7": robustness_scenario,
     "E8": scaling_scenario,
     "E9": ablations_scenario,
+    "E10": local_search_scenario,
 }
 
 #: Reduced sweep grids for CI smoke runs: same axes, smaller sizes, so every
@@ -241,6 +276,7 @@ SMOKE_OVERRIDES: Dict[str, Dict[str, object]] = {
     "E7": {"num_nodes": 240},
     "E8": {"customer_counts": (50, 100, 200)},
     "E9": {},
+    "E10": {"sizes": (250,), "anneal_iterations": 400},
 }
 
 

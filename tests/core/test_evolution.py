@@ -132,3 +132,75 @@ class TestGrowthBehaviour:
         for link in small_trace.topology.links():
             assert link.cable is not None
             assert link.capacity >= link.load - 1e-9
+
+
+class TestSpatialAttachment:
+    """The grid-backed cheapest-attachment path must match the full scan."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_spatial_matches_scan_end_to_end(self, seed):
+        params = GrowthParameters(
+            periods=4,
+            initial_customers=25,
+            customers_per_period=12,
+            seed=seed,
+            budget_per_period=80.0,
+        )
+        spatial = GrowthSimulator(params, use_spatial_index=True).run()
+        scan = GrowthSimulator(params, use_spatial_index=False).run()
+        assert spatial.as_rows() == scan.as_rows()
+        spatial_edges = sorted(map(repr, spatial.topology.link_keys()))
+        scan_edges = sorted(map(repr, scan.topology.link_keys()))
+        assert spatial_edges == scan_edges
+
+    @pytest.mark.parametrize("seed", [5, 6])
+    def test_per_query_brute_force_equivalence(self, seed):
+        """Every single argmin answer equals the brute-force scan's answer."""
+        from repro.core.buyatbulk import Customer
+
+        simulator = GrowthSimulator(
+            GrowthParameters(
+                periods=2, initial_customers=30, customers_per_period=10, seed=seed
+            )
+        )
+        trace = simulator.run()
+        topology = trace.topology
+        rng = __import__("random").Random(seed)
+        for i in range(60):
+            probe = Customer(
+                customer_id=f"probe{i}",
+                location=(rng.random(), rng.random()),
+                demand=rng.uniform(1.0, 10.0),
+            )
+            fast = simulator._cheapest_attachment(topology, probe)
+            slow = simulator._cheapest_attachment_scan(topology, probe)
+            assert fast == slow
+
+    def test_degree_limited_targets_are_excluded(self):
+        from repro.core.buyatbulk import Customer
+        from repro.topology.node import NodeRole as Role
+
+        simulator = GrowthSimulator(
+            GrowthParameters(periods=1, initial_customers=10, customers_per_period=5, seed=3)
+        )
+        trace = simulator.run()
+        topology = trace.topology
+        # Saturate one customer node artificially and re-register the block.
+        victim = next(
+            n.node_id for n in topology.nodes() if n.role == Role.CUSTOMER
+        )
+        limit = simulator._attachment_limit(Role.CUSTOMER)
+        while topology.degree(victim) + 1 <= limit:
+            extra = topology.add_node(
+                f"pad{topology.degree(victim)}", role=Role.CUSTOMER,
+                location=(0.0, 0.0), demand=1.0,
+            )
+            topology.add_link(victim, extra.node_id)
+            simulator._register_attachment_target(extra)
+            simulator._refresh_blocked(topology, victim)
+            simulator._refresh_blocked(topology, extra.node_id)
+        probe = Customer("probe", topology.node(victim).location, 2.0)
+        fast = simulator._cheapest_attachment(topology, probe)
+        slow = simulator._cheapest_attachment_scan(topology, probe)
+        assert fast == slow
+        assert fast is None or fast[0] != victim

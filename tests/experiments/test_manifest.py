@@ -107,3 +107,25 @@ class TestResultStore:
         assert manifest["num_tasks"] == 2
         for entry, record in zip(manifest["tasks"], sorted(records, key=lambda r: r.index)):
             assert entry["payload_sha256"] == payload_sha256(record.payload)
+
+    def test_manifest_environment_fingerprint_is_non_identity(self, tmp_path):
+        import platform
+
+        store = ResultStore(tmp_path)
+        path = store.write_manifest("EX", [make_record()], title="t", base_seed=3)
+        manifest = json.loads(path.read_text())
+        environment = manifest["environment"]
+        assert environment["python"] == platform.python_version()
+        assert "scipy" in environment
+        # Non-identity: the fingerprint enters no digest or payload hash, so
+        # a toolchain upgrade cannot invalidate cached records.
+        record = make_record()
+        assert "environment" not in record.to_json()
+        assert "environment" not in json.dumps(manifest["tasks"])
+
+    def test_environment_fingerprint_fields(self):
+        from repro.experiments.manifest import environment_fingerprint
+
+        fingerprint = environment_fingerprint()
+        assert set(fingerprint) == {"python", "implementation", "scipy"}
+        assert fingerprint["implementation"]

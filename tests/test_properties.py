@@ -97,10 +97,20 @@ class TestCatalogProperties:
     )
     @settings(max_examples=100, deadline=None)
     def test_cost_envelope_subadditive(self, a, b):
+        # Universal mixed-cable subadditivity of the envelope is FALSE at
+        # exact capacity boundaries (e.g. a=1, b=2488: one extra unit on a
+        # full OC-48 forces a second install or a jump to OC-192, costing
+        # more than pricing the flows separately).  The property the cost
+        # model actually guarantees, and the one that rewards aggregation,
+        # is subadditivity *per cable type* — ceil((a+b)/u) <= ceil(a/u) +
+        # ceil(b/u) — which also bounds the envelope of the combined flow
+        # by any single cable's split cost.
         catalog = default_catalog()
-        assert catalog.cost_per_unit_length(a + b) <= (
-            catalog.cost_per_unit_length(a) + catalog.cost_per_unit_length(b) + 1e-9
-        )
+        combined = catalog.cost_per_unit_length(a + b)
+        for cable in catalog:
+            split = cable.cost_for_flow(a) + cable.cost_for_flow(b)
+            assert cable.cost_for_flow(a + b) <= split + 1e-9
+            assert combined <= split + 1e-9
 
     @given(st.floats(min_value=0.1, max_value=20000.0, allow_nan=False))
     @settings(max_examples=100, deadline=None)
