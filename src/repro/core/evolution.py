@@ -29,10 +29,12 @@ from ..geography.points import euclidean
 from ..geography.regions import Region, metro_region
 from ..geography.spatial_index import SpatialGridIndex
 from ..metrics.fits import classify_tail
+from ..optimization.incremental import AddLink, AddNode, IncrementalState, UpgradeCable
 from ..topology.graph import Topology
 from ..topology.node import Node, NodeRole
 from .buyatbulk import BuyAtBulkInstance, Customer, core_node_id, route_tree_flows
 from .constraints import ConstraintSet, default_router_constraints
+from .objectives import CostObjective
 
 
 @dataclass
@@ -172,6 +174,13 @@ class GrowthSimulator:
         self._reset_attachment_index()
         self._register_attachment_target(core)
 
+        # The budget loop runs on the incremental objective engine: customer
+        # attachments are typed moves, so the served-set union-find and the
+        # running install-cost breakdown stay current across periods and
+        # deferred-customer retries reuse that state instead of re-deriving
+        # it from the topology.
+        state = IncrementalState(topology, CostObjective(catalog=self.catalog))
+
         trace = GrowthTrace(topology=topology)
         waiting: List[Customer] = []
         next_customer_id = 0
@@ -189,13 +198,17 @@ class GrowthSimulator:
             arrivals = waiting + arrivals
             waiting = []
 
-            spent, deferred = self._connect_batch(topology, arrivals, rng)
+            spent, deferred = self._connect_batch(topology, arrivals, rng, state)
             waiting.extend(deferred)
             upgrade_cost, upgrades = self._reprovision(topology)
             spent += upgrade_cost
+            # Demand growth and reprovisioning mutate annotations behind the
+            # state's back; one canonical rebuild per period resynchronizes
+            # (the attachments in between were all O(α) incremental moves).
+            state.rebuild()
 
             trace.records.append(
-                self._record(topology, period, spent, upgrades, len(waiting))
+                self._record(topology, period, spent, upgrades, len(waiting), state)
             )
         return trace
 
@@ -225,13 +238,22 @@ class GrowthSimulator:
                 node.demand *= 1.0 + rate
 
     def _connect_batch(
-        self, topology: Topology, arrivals: List[Customer], rng: random.Random
+        self,
+        topology: Topology,
+        arrivals: List[Customer],
+        rng: random.Random,
+        state: Optional[IncrementalState] = None,
     ) -> Tuple[float, List[Customer]]:
         """Attach each arriving customer at the cheapest feasible point.
 
-        Returns the capital spent on new links and the customers deferred
-        because the period budget ran out.
+        Attachments go through the incremental objective engine as typed
+        moves (``AddNode`` + ``AddLink`` + ``UpgradeCable`` for the access
+        cable), so the period's served-set and cost state advance in O(α)
+        per customer.  Returns the capital spent on new links and the
+        customers deferred because the period budget ran out.
         """
+        if state is None:
+            state = IncrementalState(topology, CostObjective(catalog=self.catalog))
         budget = self.parameters.budget_per_period
         spent = 0.0
         deferred: List[Customer] = []
@@ -245,20 +267,29 @@ class GrowthSimulator:
             if spent + cost > budget:
                 deferred.append(customer)
                 continue
-            node = topology.add_node(
-                customer.customer_id,
-                role=NodeRole.CUSTOMER,
-                location=customer.location,
-                demand=customer.demand,
+            state.apply(
+                AddNode(
+                    customer.customer_id,
+                    role=NodeRole.CUSTOMER,
+                    location=customer.location,
+                    demand=customer.demand,
+                )
             )
-            link = topology.add_link(customer.customer_id, target)
+            state.apply(AddLink(customer.customer_id, target))
+            link = topology.link(customer.customer_id, target)
             cable, copies = self.catalog.provision(customer.demand)
-            link.capacity = cable.capacity * copies
-            link.cable = cable.name
-            link.install_cost = cable.install_cost * copies * link.length
-            link.usage_cost = cable.usage_cost * link.length
+            state.apply(
+                UpgradeCable(
+                    customer.customer_id,
+                    target,
+                    cable=cable.name,
+                    capacity=cable.capacity * copies,
+                    install_cost=cable.install_cost * copies * link.length,
+                    usage_cost=cable.usage_cost * link.length,
+                )
+            )
             spent += cost
-            self._register_attachment_target(node)
+            self._register_attachment_target(topology.node(customer.customer_id))
             self._refresh_blocked(topology, customer.customer_id)
             self._refresh_blocked(topology, target)
         return spent, deferred
@@ -422,21 +453,26 @@ class GrowthSimulator:
         spent: float,
         upgrades: int,
         deferred: int,
+        state: Optional[IncrementalState] = None,
     ) -> PeriodRecord:
         degrees = topology.degree_sequence()
-        customers = [n for n in topology.nodes() if n.role == NodeRole.CUSTOMER]
+        customers = sum(
+            1 for n in topology.nodes() if n.role == NodeRole.CUSTOMER
+        )
         verdict = classify_tail(degrees).verdict if len(degrees) > 10 else "inconclusive"
+        if state is None:
+            state = IncrementalState(topology, CostObjective(catalog=self.catalog))
         return PeriodRecord(
             period=period,
-            num_customers=len(customers),
+            num_customers=customers,
             deferred_customers=deferred,
             num_links=topology.num_links,
-            total_demand=sum(c.demand for c in customers),
+            total_demand=state.total_customer_demand,
             capital_spent=spent,
             upgrade_count=upgrades,
             max_degree=max(degrees) if degrees else 0,
             tail_verdict=verdict,
-            cumulative_cost=topology.total_install_cost(),
+            cumulative_cost=state.install_cost,
         )
 
 

@@ -422,8 +422,15 @@ class ISPGenerator:
         demand: DemandMatrix,
         core_ids: Dict[str, Any],
     ) -> None:
-        """Route the gravity demand over backbone shortest paths and install cables."""
-        from ..optimization.shortest_path import dijkstra, reconstruct_path
+        """Route the gravity demand over backbone shortest paths and install cables.
+
+        The inter-city matrix routes through the batched traffic engine on a
+        compiled view of the backbone: one shortest-path search per unique
+        source city instead of one per demand pair, with loads scattered onto
+        the engine's edge column and written back to the national topology's
+        links in a single pass.
+        """
+        from ..routing.engine import route_demand
 
         backbone_nodes = set(core_ids.values())
         backbone_links = [
@@ -431,19 +438,13 @@ class ISPGenerator:
             for link in topology.links()
             if link.source in backbone_nodes and link.target in backbone_nodes
         ]
-        for link in backbone_links:
-            link.load = 0.0
 
         backbone = topology.subgraph(backbone_nodes, name="backbone-view")
-        for a_name, b_name, volume in demand.pairs():
-            source = core_ids[a_name]
-            target = core_ids[b_name]
-            distances, predecessors = dijkstra(backbone, source)
-            if target not in distances:
-                continue
-            path = reconstruct_path(predecessors, source, target)
-            for u, v in zip(path, path[1:]):
-                topology.link(u, v).load += volume
+        compiled = demand.compile(backbone, endpoint_map=core_ids)
+        flow = route_demand(compiled)
+        loads = dict(zip(compiled.graph.edge_keys, flow.edge_loads))
+        for link in backbone_links:
+            link.load = loads.get(link.key, 0.0)
 
         for link in backbone_links:
             if link.load > 0:

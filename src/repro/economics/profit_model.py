@@ -53,6 +53,30 @@ class RevenueModel:
             )
         return self.subscription + volume_revenue
 
+    def revenue_for_demands(self, demands: Sequence[float]) -> float:
+        """Total revenue over a demand column in one pass.
+
+        The array-pipeline companion of :meth:`revenue_for_demand`: pricing a
+        routed demand matrix (one volume per pair, e.g.
+        ``CompiledDemand.volumes``) charges the whole column without a Python
+        call per customer.  Below the discount threshold the tariff is affine,
+        so the column reduces to ``count * subscription + sum * price``;
+        discounted volumes fall back to the scalar rule.
+        """
+        total_volume = 0.0
+        discounted = 0.0
+        count = 0
+        threshold = self.discount_threshold
+        for demand in demands:
+            if demand < 0:
+                raise ValueError(f"demand must be non-negative, got {demand}")
+            if demand > threshold:
+                discounted += self.revenue_for_demand(demand)
+            else:
+                total_volume += demand
+                count += 1
+        return count * self.subscription + total_volume * self.price_per_unit + discounted
+
 
 @dataclass(frozen=True)
 class CustomerProspect:

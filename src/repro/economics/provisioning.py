@@ -11,7 +11,7 @@ the paper calls a topology.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Optional, Sequence
 
 from ..topology.graph import Topology
 from .cables import CableCatalog
@@ -45,6 +45,7 @@ def provision_topology(
     catalog: CableCatalog,
     utilization_target: float = 1.0,
     headroom: float = 0.0,
+    loads: Optional[Sequence[float]] = None,
 ) -> ProvisioningReport:
     """Install cables on every loaded link of ``topology`` in place.
 
@@ -59,6 +60,12 @@ def provision_topology(
         utilization_target: Maximum allowed utilization of installed capacity
             (values below 1 force spare capacity).
         headroom: Additional fractional headroom on top of the current load.
+        loads: Optional per-edge load column aligned with
+            ``topology.compiled()`` (e.g. a
+            :class:`~repro.routing.engine.FlowResult` ``edge_loads`` column).
+            When given, each link is provisioned for — and annotated with —
+            the column's load in the same pass, so the array pipeline flushes
+            loads and installs cables in one sweep over the edge column.
 
     Returns:
         A :class:`ProvisioningReport` with aggregate statistics.
@@ -68,11 +75,22 @@ def provision_topology(
     if headroom < 0:
         raise ValueError("headroom must be non-negative")
 
+    if loads is None:
+        links = list(topology.links())
+    else:
+        links = topology.compiled().links
+        if len(loads) != len(links):
+            raise ValueError(
+                f"loads column has {len(loads)} entries for {len(links)} links"
+            )
+        for link, load in zip(links, loads):
+            link.load = load
+
     total_install = 0.0
     total_usage = 0.0
     cable_counts: Dict[str, int] = {}
     ratios = []
-    for link in topology.links():
+    for link in links:
         required = link.load * (1.0 + headroom) / utilization_target
         if required <= 0:
             # Unloaded links get the smallest cable so the topology stays connected.

@@ -1,4 +1,4 @@
-"""Built-in experiment suites (E1–E10).
+"""Built-in experiment suites (E1–E11).
 
 Importing this package registers every suite with the engine registry;
 worker processes do the same via
@@ -16,6 +16,7 @@ from . import (  # noqa: F401  (import side effect registers the suites)
     e8_scaling,
     e9_ablations,
     e10_local_search,
+    e11_traffic,
 )
 
 __all__ = [
@@ -29,4 +30,5 @@ __all__ = [
     "e8_scaling",
     "e9_ablations",
     "e10_local_search",
+    "e11_traffic",
 ]

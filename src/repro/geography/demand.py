@@ -11,7 +11,7 @@ uniform model used as an ablation baseline.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from .points import euclidean
 from .population import City
@@ -22,6 +22,10 @@ class DemandMatrix:
     """A symmetric traffic demand matrix keyed by endpoint names.
 
     Demands are stored once per unordered pair; :meth:`demand` is symmetric.
+    Bulk construction goes through :meth:`from_arrays` (index/volume columns,
+    one validation pass) and routing consumes the matrix through
+    :meth:`compile`, which resolves endpoint names against a topology exactly
+    once.
     """
 
     endpoints: List[str]
@@ -35,6 +39,48 @@ class DemandMatrix:
     @staticmethod
     def _key(a: str, b: str) -> Tuple[str, str]:
         return (a, b) if a <= b else (b, a)
+
+    @classmethod
+    def from_arrays(
+        cls,
+        endpoints: Sequence[str],
+        sources: Sequence[int],
+        targets: Sequence[int],
+        volumes: Sequence[float],
+    ) -> "DemandMatrix":
+        """Bulk constructor from parallel index/volume columns.
+
+        ``sources``/``targets`` are indices into ``endpoints`` and
+        ``volumes`` the matching demands — the natural output shape of the
+        array-native builders (:func:`gravity_demand`, :func:`uniform_demand`
+        and the :mod:`repro.workloads.matrices` constructors).  Validation
+        runs once over the columns instead of once per ``set_demand`` call,
+        and no intermediate pair-keyed dictionary is built.
+        """
+        names = list(endpoints)
+        matrix = cls(endpoints=names)
+        if not (len(sources) == len(targets) == len(volumes)):
+            raise ValueError("sources, targets, and volumes must align")
+        key = cls._key
+        demands = matrix._demands
+        for i, j, volume in zip(sources, targets, volumes):
+            if i == j:
+                raise ValueError("self-demand is not allowed")
+            if volume < 0:
+                raise ValueError(f"demand must be non-negative, got {volume}")
+            demands[key(names[i], names[j])] = volume
+        return matrix
+
+    def compile(self, topology: Any, endpoint_map: Optional[Dict[str, Any]] = None):
+        """Compile this matrix against a topology's compiled graph.
+
+        Returns a :class:`~repro.routing.engine.CompiledDemand` — int-indexed
+        source/target/volume columns aligned with ``topology.compiled()`` —
+        ready for :func:`~repro.routing.engine.route_demand`.
+        """
+        from ..routing.engine import compile_demand
+
+        return compile_demand(topology, self, endpoint_map)
 
     def set_demand(self, a: str, b: str, volume: float) -> None:
         """Set the demand between two distinct endpoints."""
@@ -109,29 +155,37 @@ def gravity_demand(
     if total_volume < 0:
         raise ValueError("total_volume must be non-negative")
     names = [c.name for c in cities]
-    matrix = DemandMatrix(endpoints=names)
 
-    distances = []
-    for i in range(len(cities)):
-        for j in range(i + 1, len(cities)):
-            distances.append(euclidean(cities[i].location, cities[j].location))
+    # Array-native construction: flat source/target/distance columns in i<j
+    # order, distances computed once (the dict-building implementation walked
+    # the city pairs twice and round-tripped volumes through a tuple-keyed
+    # dictionary).  The arithmetic and its order are unchanged, so the
+    # resulting matrix is bit-identical to the historical builder.
+    n = len(cities)
+    locations = [c.location for c in cities]
+    populations = [c.population for c in cities]
+    sources: List[int] = []
+    targets: List[int] = []
+    distances: List[float] = []
+    for i in range(n):
+        location_i = locations[i]
+        for j in range(i + 1, n):
+            sources.append(i)
+            targets.append(j)
+            distances.append(euclidean(location_i, locations[j]))
     max_distance = max(distances) if distances else 1.0
     floor = min_distance if min_distance is not None else 0.01 * max(max_distance, 1e-12)
     floor = max(floor, 1e-12)
 
-    raw: Dict[Tuple[int, int], float] = {}
-    for i in range(len(cities)):
-        for j in range(i + 1, len(cities)):
-            distance = max(euclidean(cities[i].location, cities[j].location), floor)
-            raw[(i, j)] = (
-                cities[i].population * cities[j].population / (distance**distance_exponent)
-            )
-    total_raw = sum(raw.values())
+    raw = [
+        populations[i] * populations[j] / (max(distance, floor) ** distance_exponent)
+        for i, j, distance in zip(sources, targets, distances)
+    ]
+    total_raw = sum(raw)
     if total_raw <= 0:
-        return matrix
-    for (i, j), value in raw.items():
-        matrix.set_demand(names[i], names[j], total_volume * value / total_raw)
-    return matrix
+        return DemandMatrix(endpoints=names)
+    volumes = [total_volume * value / total_raw for value in raw]
+    return DemandMatrix.from_arrays(names, sources, targets, volumes)
 
 
 def uniform_demand(names: Sequence[str], total_volume: float = 1000.0) -> DemandMatrix:
@@ -139,13 +193,14 @@ def uniform_demand(names: Sequence[str], total_volume: float = 1000.0) -> Demand
     names = list(names)
     if len(names) < 2:
         raise ValueError("uniform demand requires at least two endpoints")
-    matrix = DemandMatrix(endpoints=names)
-    num_pairs = len(names) * (len(names) - 1) // 2
+    if total_volume < 0:
+        raise ValueError("total_volume must be non-negative")
+    n = len(names)
+    num_pairs = n * (n - 1) // 2
     per_pair = total_volume / num_pairs
-    for i in range(len(names)):
-        for j in range(i + 1, len(names)):
-            matrix.set_demand(names[i], names[j], per_pair)
-    return matrix
+    sources = [i for i in range(n) for _ in range(i + 1, n)]
+    targets = [j for i in range(n) for j in range(i + 1, n)]
+    return DemandMatrix.from_arrays(names, sources, targets, [per_pair] * num_pairs)
 
 
 def access_demands(

@@ -117,7 +117,9 @@ def metro_region(name: str = "metro", size_km: float = 50.0) -> Region:
     return Region(name=name, width=size_km, height=size_km)
 
 
-def national_region(name: str = "national", width_km: float = 4200.0, height_km: float = 2500.0) -> Region:
+def national_region(
+    name: str = "national", width_km: float = 4200.0, height_km: float = 2500.0
+) -> Region:
     """A continental-scale region sized like the contiguous United States."""
     return Region(name=name, width=width_km, height=height_km)
 

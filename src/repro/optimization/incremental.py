@@ -515,6 +515,21 @@ class IncrementalState:
         return value
 
     @property
+    def install_cost(self) -> float:
+        """Running total of per-link install contributions.
+
+        For fully annotated topologies (no fiber right-of-way surcharge) this
+        is ``topology.total_install_cost()`` maintained incrementally — the
+        growth simulator reads it per period instead of re-summing links.
+        """
+        return self._link_install
+
+    @property
+    def total_customer_demand(self) -> float:
+        """Total demand of all customer nodes (served or not)."""
+        return self._total_customer_demand
+
+    @property
     def unserved_demand(self) -> float:
         """Demand of customers currently cut off from every core."""
         return self._total_customer_demand - self._served_demand

@@ -1,4 +1,11 @@
-"""Routing substrate: path selection, demand assignment, utilization analysis."""
+"""Routing substrate: path selection, demand assignment, utilization analysis.
+
+The hot path is the vectorized traffic engine (:mod:`repro.routing.engine`):
+demand compiles to int-indexed arrays, routing batches one search per unique
+source, and loads live in per-edge columns until a single flush annotates the
+object graph.  :mod:`repro.routing.paths` and the per-pair assignment remain
+the reference implementations.
+"""
 
 from .paths import (
     PathCache,
@@ -7,6 +14,12 @@ from .paths import (
     k_shortest_node_disjoint_paths,
     resolve_weight,
     shortest_path_between,
+)
+from .engine import (
+    CompiledDemand,
+    FlowResult,
+    compile_demand,
+    route_demand,
 )
 from .assignment import (
     AssignmentResult,
@@ -17,6 +30,7 @@ from .utilization import (
     UtilizationReport,
     load_concentration,
     most_loaded_links,
+    utilization_bin,
     utilization_report,
 )
 
@@ -27,11 +41,16 @@ __all__ = [
     "k_shortest_node_disjoint_paths",
     "resolve_weight",
     "shortest_path_between",
+    "CompiledDemand",
+    "FlowResult",
+    "compile_demand",
+    "route_demand",
     "AssignmentResult",
     "assign_demand",
     "route_customer_demand_to_core",
     "UtilizationReport",
     "load_concentration",
     "most_loaded_links",
+    "utilization_bin",
     "utilization_report",
 ]

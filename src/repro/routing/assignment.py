@@ -1,4 +1,19 @@
-"""Traffic assignment: route a demand matrix and accumulate link loads."""
+"""Traffic assignment: route a demand matrix and accumulate link loads.
+
+Two implementations share the :class:`AssignmentResult` boundary:
+
+* ``method="batched"`` (default) runs the vectorized traffic engine
+  (:mod:`repro.routing.engine`): endpoint names are resolved once into a
+  :class:`~repro.routing.engine.CompiledDemand`, one shortest-path search
+  runs per unique source, and volumes scatter onto a per-edge load column
+  that is flushed back to ``Link.load`` in a single pass.  ``mode="ecmp"``
+  additionally splits each pair's volume equally over tied shortest paths.
+* ``method="per-pair"`` is the seed implementation — one
+  :class:`~repro.routing.paths.PathCache` path resolution per pair with
+  per-link object accumulation — kept as the equivalence reference the
+  property tests and ``benchmarks/bench_traffic.py`` compare against, and
+  the only mode that records per-pair node paths.
+"""
 
 from __future__ import annotations
 
@@ -9,6 +24,7 @@ from typing import Any, Dict, List, Optional, Tuple
 from ..geography.demand import DemandMatrix
 from ..topology.compiled import multi_source_dijkstra_indices
 from ..topology.graph import Topology
+from .engine import compile_demand, route_demand
 from .paths import PathCache, resolve_weight
 
 
@@ -20,7 +36,9 @@ class AssignmentResult:
         routed_volume: Total demand successfully routed.
         unrouted_pairs: Demand pairs with no path, with their volumes.
         link_loads: Load per canonical link key after assignment.
-        paths: The node path used for each routed (a, b) pair.
+        paths: The node path used for each routed (a, b) pair — recorded by
+            the per-pair reference only (the batched engine never resolves
+            per-pair paths; that is what makes it fast).
     """
 
     routed_volume: float = 0.0
@@ -40,8 +58,10 @@ def assign_demand(
     endpoint_map: Optional[Dict[str, Any]] = None,
     weight: Optional[str] = None,
     reset_loads: bool = True,
+    method: str = "batched",
+    mode: str = "single",
 ) -> AssignmentResult:
-    """Route every demand pair over its shortest path and add loads to links.
+    """Route every demand pair over shortest paths and add loads to links.
 
     Args:
         topology: Topology whose link ``load`` fields receive the traffic.
@@ -50,11 +70,37 @@ def assign_demand(
             (identity mapping when omitted).
         weight: Named weight function for path selection (default: length).
         reset_loads: Zero all link loads before assignment.
+        method: ``"batched"`` (the engine) or ``"per-pair"`` (the reference).
+        mode: ``"single"`` or ``"ecmp"`` flow splitting (batched only).
 
     Returns:
         An :class:`AssignmentResult`; unrouted pairs (missing nodes or
         disconnected endpoints) are recorded rather than raising.
     """
+    if method == "batched":
+        compiled = compile_demand(topology, demand, endpoint_map)
+        flow = route_demand(compiled, weight=weight, mode=mode)
+        flow.flush(reset=reset_loads)
+        return AssignmentResult(
+            routed_volume=flow.routed_volume,
+            unrouted_pairs=flow.unrouted,
+            link_loads=flow.link_loads(),
+        )
+    if method != "per-pair":
+        raise ValueError(f"unknown assignment method {method!r}")
+    if mode != "single":
+        raise ValueError("per-pair assignment only supports mode='single'")
+    return _assign_demand_per_pair(topology, demand, endpoint_map, weight, reset_loads)
+
+
+def _assign_demand_per_pair(
+    topology: Topology,
+    demand: DemandMatrix,
+    endpoint_map: Optional[Dict[str, Any]],
+    weight: Optional[str],
+    reset_loads: bool,
+) -> AssignmentResult:
+    """The seed per-pair path: one cached path resolution per demand pair."""
     endpoint_map = endpoint_map or {}
     cache = PathCache(topology, resolve_weight(weight))
     if reset_loads:

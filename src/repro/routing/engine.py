@@ -1,0 +1,377 @@
+"""Vectorized traffic engine: batched demand routing on the compiled graph.
+
+The paper (Section 2.2) names traffic demand "one of the key inputs" to the
+optimization formulation: a topology is only ever evaluated through the
+traffic it carries under shortest-path routing and the capacities provisioned
+for that traffic.  This module is the array pipeline behind that evaluation:
+
+* :func:`compile_demand` / :class:`CompiledDemand` translate a
+  :class:`~repro.geography.demand.DemandMatrix` into int-indexed
+  source/target/volume columns aligned with a
+  :class:`~repro.topology.compiled.CompiledGraph` snapshot — endpoint-name
+  resolution happens exactly once, not once per routing pass.
+* :func:`route_demand` routes every pair with **one Dijkstra per unique
+  source** (``KERNEL_COUNTERS.traffic_batched_sources`` counts them) and
+  scatters volumes onto a per-edge ``array('d')`` load column by walking the
+  predecessor tree bottom-up — O(V) subtree accumulation per source instead
+  of one path resolution per pair.
+* **ECMP mode** (``mode="ecmp"``) splits each pair's volume equally across
+  all tied shortest paths: per source, shortest-path counts are accumulated
+  along the equal-distance DAG and flow is distributed proportionally
+  (Brandes-style dependency accumulation), with tied predecessor edges
+  visited in ascending edge-index order so splits are deterministic.
+* :class:`FlowResult` holds the load column and writes it back to the
+  annotated object graph in a single :meth:`~FlowResult.flush` pass —
+  ``Link.load`` is a boundary concern, not a hot-loop accumulator.
+
+Equivalence contract with the per-pair reference
+(:func:`repro.routing.assignment.assign_demand` with ``method="per-pair"``),
+in single-path mode:
+
+* **Path choice**: both route every pair over a canonical shortest path.  On
+  instances whose shortest paths are unique (e.g. Euclidean lengths, where
+  exact distance ties have measure zero) the paths — and hence the edges
+  loaded — are identical.  When *tied* shortest paths exist (hop weights),
+  each side deterministically picks one of the tied optima, but compilation
+  may orient a pair's search from the opposite endpoint, whose predecessor
+  tree can select a different — equally shortest — path than the
+  reference's.  Use ECMP mode when tie handling should be explicit.
+* **Load arithmetic**: per edge, the load is the sum of the volumes of the
+  pairs routed over it.  Subtree accumulation associates that sum bottom-up
+  along the tree rather than in pair order, so on unique-shortest-path
+  instances loads agree with the reference bit-for-bit whenever volume sums
+  are exact (integral volumes — what ``benchmarks/bench_traffic.py`` gates)
+  and to float-accumulation tolerance otherwise.
+"""
+
+from __future__ import annotations
+
+from array import array
+from dataclasses import dataclass, field
+from math import inf
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from ..topology.compiled import (
+    CompiledGraph,
+    KERNEL_COUNTERS,
+    dijkstra_indices,
+)
+from ..topology.graph import Topology
+from .paths import resolve_weight
+
+__all__ = [
+    "CompiledDemand",
+    "FlowResult",
+    "compile_demand",
+    "route_demand",
+]
+
+
+@dataclass
+class CompiledDemand:
+    """A demand matrix compiled against one :class:`CompiledGraph` snapshot.
+
+    Attributes:
+        graph: The compiled topology snapshot the indices refer to.
+        sources: Source node index per pair (pair order = matrix pair order).
+        targets: Target node index per pair.
+        volumes: Demand volume per pair.
+        labels: The original ``(a, b)`` endpoint names per pair.
+        unmatched: Pairs whose endpoints are missing from the topology, as
+            ``(a, b, volume)`` — recorded at compile time, reported as
+            unrouted by every routing pass.
+    """
+
+    graph: CompiledGraph
+    sources: array
+    targets: array
+    volumes: array
+    labels: List[Tuple[str, str]]
+    unmatched: List[Tuple[str, str, float]] = field(default_factory=list)
+
+    @property
+    def num_pairs(self) -> int:
+        """Number of compiled (routable-endpoint) pairs."""
+        return len(self.volumes)
+
+    def total_volume(self) -> float:
+        """Total compiled volume (excludes unmatched pairs)."""
+        return sum(self.volumes)
+
+    def pair_positions_by_source(self) -> Iterator[Tuple[int, List[int]]]:
+        """Yield ``(source_index, pair_positions)`` groups.
+
+        Sources come in first-appearance order and positions preserve pair
+        order, so per-source processing visits every pair exactly once in a
+        deterministic order.
+        """
+        groups: Dict[int, List[int]] = {}
+        for position, source in enumerate(self.sources):
+            groups.setdefault(source, []).append(position)
+        yield from groups.items()
+
+
+def compile_demand(
+    topology: Topology,
+    demand: Any,
+    endpoint_map: Optional[Dict[str, Any]] = None,
+) -> CompiledDemand:
+    """Compile a demand matrix against ``topology.compiled()``.
+
+    Args:
+        topology: Topology the demand will be routed over.
+        demand: A :class:`~repro.geography.demand.DemandMatrix` (anything with
+            a ``pairs()`` iterator of ``(a, b, volume)``).
+        endpoint_map: Maps demand endpoint names to topology node ids
+            (identity mapping when omitted).
+
+    Endpoints that do not resolve to a topology node land in
+    :attr:`CompiledDemand.unmatched` instead of raising, mirroring the
+    per-pair assignment behaviour.
+
+    Demand is symmetric and the graph undirected, so each pair may be routed
+    from either endpoint; compilation **orients** every pair toward the
+    endpoint shared by more pairs (ties keep the matrix's canonical order).
+    A hub-to-all matrix therefore batches into one search per hub instead of
+    one per alphabetically-smaller endpoint — the search plan is part of what
+    makes batched assignment fast.
+    """
+    endpoint_map = endpoint_map or {}
+    graph = topology.compiled()
+    index_of = graph.index_of
+    resolved: List[Tuple[int, int, float, Tuple[str, str]]] = []
+    unmatched: List[Tuple[str, str, float]] = []
+    frequency: Dict[int, int] = {}
+    for a, b, volume in demand.pairs():
+        source = index_of.get(endpoint_map.get(a, a))
+        target = index_of.get(endpoint_map.get(b, b))
+        if source is None or target is None:
+            unmatched.append((a, b, volume))
+            continue
+        resolved.append((source, target, volume, (a, b)))
+        frequency[source] = frequency.get(source, 0) + 1
+        frequency[target] = frequency.get(target, 0) + 1
+    sources = array("q")
+    targets = array("q")
+    volumes = array("d")
+    labels: List[Tuple[str, str]] = []
+    for source, target, volume, label in resolved:
+        if frequency[target] > frequency[source]:
+            source, target = target, source
+        sources.append(source)
+        targets.append(target)
+        volumes.append(volume)
+        labels.append(label)
+    return CompiledDemand(
+        graph=graph,
+        sources=sources,
+        targets=targets,
+        volumes=volumes,
+        labels=labels,
+        unmatched=unmatched,
+    )
+
+
+@dataclass
+class FlowResult:
+    """Edge-indexed result of routing a compiled demand matrix.
+
+    Attributes:
+        graph: The compiled snapshot the edge loads are aligned with.
+        edge_loads: Load per undirected edge index.
+        routed_volume: Total volume that found a path.
+        routed_pairs: Number of pairs that found a path.
+        unrouted: ``(a, b, volume)`` for unmatched or disconnected pairs.
+        mode: ``"single"`` or ``"ecmp"``.
+    """
+
+    graph: CompiledGraph
+    edge_loads: array
+    routed_volume: float
+    routed_pairs: int
+    unrouted: List[Tuple[str, str, float]]
+    mode: str
+
+    @property
+    def unrouted_volume(self) -> float:
+        """Total volume that could not be routed."""
+        return sum(volume for _, _, volume in self.unrouted)
+
+    def link_loads(self) -> Dict[Tuple[Any, Any], float]:
+        """Boundary conversion: loaded edges as a canonical-key dictionary."""
+        edge_keys = self.graph.edge_keys
+        return {
+            edge_keys[e]: load
+            for e, load in enumerate(self.edge_loads)
+            if load != 0.0
+        }
+
+    def flush(self, reset: bool = True) -> None:
+        """Write the edge load column back onto the live ``Link`` objects.
+
+        One pass over the edge column; with ``reset=False`` loads are added to
+        whatever the links already carry instead of replacing it.
+        """
+        links = self.graph.links
+        loads = self.edge_loads
+        if reset:
+            for e, link in enumerate(links):
+                link.load = loads[e]
+        else:
+            for e, link in enumerate(links):
+                if loads[e]:
+                    link.load += loads[e]
+
+    def max_load(self) -> float:
+        """Largest per-edge load (0.0 on an edgeless graph)."""
+        return max(self.edge_loads) if len(self.edge_loads) else 0.0
+
+
+def route_demand(
+    demand: CompiledDemand,
+    weight: Optional[str] = None,
+    mode: str = "single",
+) -> FlowResult:
+    """Route a compiled demand matrix; one shortest-path search per source.
+
+    Args:
+        demand: Compiled demand (see :func:`compile_demand`).
+        weight: Named weight function for path selection (default: length).
+        mode: ``"single"`` routes each pair over one canonical shortest path
+            (the predecessor tree of the shared per-source search; identical
+            to the per-pair reference on unique-shortest-path instances —
+            see the module docstring for the tie caveat); ``"ecmp"`` splits
+            each pair's volume equally over all tied shortest paths.
+
+    Returns:
+        A :class:`FlowResult` whose ``edge_loads`` column is aligned with
+        ``demand.graph``; call :meth:`FlowResult.flush` to annotate links.
+    """
+    if mode not in ("single", "ecmp"):
+        raise ValueError(f"unknown routing mode {mode!r}")
+    graph = demand.graph
+    weights = graph.edge_weights(resolve_weight(weight))
+    if mode == "ecmp" and graph.num_edges > 0 and min(weights) <= 0:
+        raise ValueError("ECMP routing requires strictly positive weights")
+    edge_loads = array("d", [0.0]) * graph.num_edges
+    unrouted = list(demand.unmatched)
+    routed_volume = 0.0
+    routed_pairs = 0
+    volumes = demand.volumes
+    targets = demand.targets
+    labels = demand.labels
+    n = graph.num_nodes
+    for source, positions in demand.pair_positions_by_source():
+        dist, pred, pred_edge = dijkstra_indices(graph, source, weights)
+        KERNEL_COUNTERS.traffic_batched_sources += 1
+        node_flow = array("d", [0.0]) * n
+        group_volume = 0.0
+        group_pairs = 0
+        for position in positions:
+            target = targets[position]
+            volume = volumes[position]
+            if dist[target] == inf:
+                unrouted.append((*labels[position], volume))
+                continue
+            node_flow[target] += volume
+            group_volume += volume
+            group_pairs += 1
+        KERNEL_COUNTERS.traffic_assigned_pairs += group_pairs
+        routed_pairs += group_pairs
+        routed_volume += group_volume
+        if group_volume == 0.0:
+            continue
+        if mode == "single":
+            _scatter_tree(graph, source, pred, pred_edge, node_flow, edge_loads)
+        else:
+            _scatter_ecmp(graph, source, dist, weights, node_flow, edge_loads)
+    return FlowResult(
+        graph=graph,
+        edge_loads=edge_loads,
+        routed_volume=routed_volume,
+        routed_pairs=routed_pairs,
+        unrouted=unrouted,
+        mode=mode,
+    )
+
+
+def _scatter_tree(
+    graph: CompiledGraph,
+    source: int,
+    pred: List[int],
+    pred_edge: List[int],
+    node_flow: array,
+    edge_loads: array,
+) -> None:
+    """Push per-target volumes down the predecessor tree in one O(V) sweep.
+
+    Processing reached nodes in reverse BFS-over-the-tree order guarantees
+    every node is visited after all of its tree children, so each edge
+    receives its whole subtree flow with a single addition.
+    """
+    children: List[List[int]] = [[] for _ in range(graph.num_nodes)]
+    for v, parent in enumerate(pred):
+        if parent != -1:
+            children[parent].append(v)
+    order = [source]
+    head = 0
+    while head < len(order):
+        order.extend(children[order[head]])
+        head += 1
+    for v in reversed(order):
+        flow = node_flow[v]
+        if flow != 0.0 and v != source:
+            edge_loads[pred_edge[v]] += flow
+            node_flow[pred[v]] += flow
+
+
+def _scatter_ecmp(
+    graph: CompiledGraph,
+    source: int,
+    dist: List[float],
+    weights: array,
+    node_flow: array,
+    edge_loads: array,
+) -> None:
+    """Split flow over all tied shortest paths, proportionally to path counts.
+
+    For every reached node the predecessor edges of the shortest-path DAG are
+    the incident edges with ``dist[u] + w(e) == dist[v]`` (exact float
+    equality — the canonical predecessor always qualifies by construction),
+    visited in ascending edge-index order.  Path counts ``sigma`` accumulate
+    source-outward; flow then distributes target-inward, each node passing
+    ``sigma[u] / sigma[v]`` of its flow to DAG predecessor ``u`` — exactly an
+    equal share per tied shortest path (Brandes-style accumulation).
+    """
+    rows = graph.adjacency_rows()
+    reached = [v for v in range(graph.num_nodes) if dist[v] != inf]
+    reached.sort(key=lambda v: (dist[v], v))
+    dag_preds: Dict[int, List[Tuple[int, int]]] = {}
+    sigma = [0.0] * graph.num_nodes
+    sigma[source] = 1.0
+    for v in reached:
+        if v == source:
+            continue
+        preds = [
+            (e, u)
+            for u, e in rows[v]
+            if dist[u] != inf and dist[u] + weights[e] == dist[v]
+        ]
+        preds.sort()
+        dag_preds[v] = preds
+        total = 0.0
+        for _, u in preds:
+            total += sigma[u]
+        sigma[v] = total
+    for v in reversed(reached):
+        flow = node_flow[v]
+        if flow == 0.0 or v == source:
+            continue
+        preds = dag_preds[v]
+        if len(preds) > 1:
+            KERNEL_COUNTERS.traffic_ecmp_splits += 1
+        sigma_v = sigma[v]
+        for e, u in preds:
+            share = flow * (sigma[u] / sigma_v)
+            edge_loads[e] += share
+            node_flow[u] += share

@@ -3,9 +3,22 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..topology.graph import Topology
+
+
+def utilization_bin(utilization: float) -> float:
+    """The 10%-wide histogram bin key for one utilization value.
+
+    Bins are keyed by their lower edge (``0.0``, ``0.1``, ..., ``0.9``) and
+    half-open: a utilization of exactly 0.1 lands in the ``0.1`` bin.  The
+    last bin is the overflow bin — every utilization of 90% and above,
+    including overloads past 100%, lands in ``0.9``.
+    """
+    if utilization < 0:
+        raise ValueError(f"utilization must be non-negative, got {utilization}")
+    return min(9, int(utilization * 10)) / 10.0
 
 
 @dataclass
@@ -13,13 +26,16 @@ class UtilizationReport:
     """Aggregate utilization statistics of a topology.
 
     Attributes:
-        mean_utilization: Mean load/capacity over links with finite capacity.
+        mean_utilization: Mean load/capacity over links with positive capacity.
         peak_utilization: Maximum utilization.
-        overloaded_links: Canonical keys of links with load > capacity.
+        overloaded_links: Canonical keys of links with load > capacity —
+            including zero-capacity links carrying load, whose utilization is
+            unbounded and therefore excluded from the mean/peak/histogram.
         total_load: Sum of link loads.
         total_capacity: Sum of installed capacities (finite ones only).
         utilization_histogram: Counts of links in 10%-wide utilization bins
-            (keys 0.0, 0.1, ..., 0.9; the last bin also holds >100%).
+            (see :func:`utilization_bin`; keys 0.0, 0.1, ..., 0.9 with the
+            last bin holding everything >= 90%, overloads included).
     """
 
     mean_utilization: float
@@ -30,24 +46,50 @@ class UtilizationReport:
     utilization_histogram: Dict[float, int]
 
 
-def utilization_report(topology: Topology) -> UtilizationReport:
-    """Compute utilization statistics over all capacity-annotated links."""
+def utilization_report(
+    topology: Topology, loads: Optional[Sequence[float]] = None
+) -> UtilizationReport:
+    """Compute utilization statistics over all capacity-annotated links.
+
+    Args:
+        topology: The provisioned topology.
+        loads: Optional per-edge load column aligned with
+            ``topology.compiled()`` (e.g. ``FlowResult.edge_loads``).  When
+            given, statistics come from the array and the annotated
+            ``Link.load`` values are ignored — the array pipeline needs no
+            flush before analysis.
+    """
     utilizations = []
     overloaded = []
     total_load = 0.0
     total_capacity = 0.0
     histogram: Dict[float, int] = {round(b / 10.0, 1): 0 for b in range(10)}
-    for link in topology.links():
-        total_load += link.load
-        if link.capacity is None or link.capacity <= 0:
+    if loads is None:
+        links = list(topology.links())
+        loads = [link.load for link in links]
+    else:
+        links = topology.compiled().links
+        if len(loads) != len(links):
+            raise ValueError(
+                f"loads column has {len(loads)} entries for {len(links)} links"
+            )
+    for link, load in zip(links, loads):
+        total_load += load
+        capacity = link.capacity
+        if capacity is None:
             continue
-        total_capacity += link.capacity
-        utilization = link.load / link.capacity
+        if capacity <= 0:
+            # Unbounded utilization: never divides, but a loaded link with no
+            # installed capacity is an overload, not a link to skip silently.
+            if load > 1e-9:
+                overloaded.append(link.key)
+            continue
+        total_capacity += capacity
+        utilization = load / capacity
         utilizations.append(utilization)
-        if link.load > link.capacity + 1e-9:
+        if load > capacity + 1e-9:
             overloaded.append(link.key)
-        bin_key = round(min(0.9, (int(utilization * 10) / 10.0)), 1)
-        histogram[bin_key] += 1
+        histogram[utilization_bin(utilization)] += 1
     mean = sum(utilizations) / len(utilizations) if utilizations else 0.0
     peak = max(utilizations) if utilizations else 0.0
     return UtilizationReport(
@@ -72,17 +114,25 @@ def most_loaded_links(topology: Topology, k: int = 10) -> List[Tuple[Tuple, floa
     return ranked[:k]
 
 
-def load_concentration(topology: Topology, top_fraction: float = 0.1) -> float:
+def load_concentration(
+    topology: Topology,
+    top_fraction: float = 0.1,
+    loads: Optional[Sequence[float]] = None,
+) -> float:
     """Fraction of total traffic carried by the top ``top_fraction`` of links.
 
     HOT-style aggregation concentrates traffic onto a few high-capacity trunks
-    (values near 1); uniform meshes spread it out.
+    (values near 1); uniform meshes spread it out.  ``loads`` optionally
+    supplies a per-edge column (any order) instead of the annotated
+    ``Link.load`` values.
     """
     if not 0 < top_fraction <= 1:
         raise ValueError("top_fraction must be in (0, 1]")
-    loads = sorted((link.load for link in topology.links()), reverse=True)
-    total = sum(loads)
+    if loads is None:
+        loads = [link.load for link in topology.links()]
+    ranked = sorted(loads, reverse=True)
+    total = sum(ranked)
     if total <= 0:
         return 0.0
-    top_count = max(1, int(round(top_fraction * len(loads))))
-    return sum(loads[:top_count]) / total
+    top_count = max(1, int(round(top_fraction * len(ranked))))
+    return sum(ranked[:top_count]) / total

@@ -76,7 +76,11 @@ class KernelCounters:
     (:mod:`repro.optimization.incremental`) records every canonical
     ``Objective.evaluate`` as ``objective_full_evals`` and every O(Δ)
     move evaluation as ``objective_delta_evals``, so benchmarks can assert
-    that local search runs almost entirely on delta evaluations.
+    that local search runs almost entirely on delta evaluations.  The traffic
+    engine (:mod:`repro.routing.engine`) records one ``traffic_batched_sources``
+    per shortest-path search (E11 asserts exactly one per unique demand
+    source), every routed pair as ``traffic_assigned_pairs``, and every
+    ECMP flow division across tied shortest paths as ``traffic_ecmp_splits``.
     """
 
     __slots__ = (
@@ -91,6 +95,9 @@ class KernelCounters:
         "spatial_candidates",
         "objective_full_evals",
         "objective_delta_evals",
+        "traffic_batched_sources",
+        "traffic_assigned_pairs",
+        "traffic_ecmp_splits",
     )
 
     def __init__(self) -> None:

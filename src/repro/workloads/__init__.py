@@ -9,6 +9,7 @@ from .cities import (
 from .matrices import (
     demand_locality_fraction,
     hub_and_spoke_matrix,
+    hub_skewed_matrix,
     national_gravity_matrix,
     national_uniform_matrix,
 )
@@ -27,6 +28,7 @@ from .scenarios import (
     robustness_scenario,
     scaling_scenario,
     scenario_for,
+    traffic_scenario,
 )
 
 __all__ = [
@@ -40,6 +42,7 @@ __all__ = [
     "scaled_population",
     "demand_locality_fraction",
     "hub_and_spoke_matrix",
+    "hub_skewed_matrix",
     "national_gravity_matrix",
     "national_uniform_matrix",
     "Scenario",
@@ -52,4 +55,5 @@ __all__ = [
     "peering_scenario",
     "robustness_scenario",
     "scaling_scenario",
+    "traffic_scenario",
 ]

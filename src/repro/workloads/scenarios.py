@@ -235,6 +235,45 @@ def local_search_scenario(
     )
 
 
+def traffic_scenario(
+    num_cities: int = 40,
+    total_volume: float = 10_000.0,
+    seed: int = 53,
+) -> Scenario:
+    """E11 (supplementary): the vectorized traffic engine sweep.
+
+    Not a figure from the paper; it gates the demand→loads→provisioning
+    pipeline behind the Section 2.2 evaluation: batched assignment must issue
+    one shortest-path search per unique demand source, ECMP must conserve
+    volumes across tied shortest paths, and demand-model shape (gravity
+    exponents, uniform, hub-skewed) must show up in load concentration.
+    """
+    return Scenario(
+        experiment_id="E11",
+        title="Batched demand routing and ECMP flow splitting",
+        paper_claim=(
+            "Supplementary: traffic demand is one of the key inputs to the "
+            "optimization formulation (Section 2.2) — the demand model's "
+            "spatial structure, not the topology alone, determines where "
+            "capacity must be provisioned."
+        ),
+        parameters={
+            "seed": seed,
+            "num_cities": num_cities,
+            "total_volume": total_volume,
+            "backbone_shortcuts": 12,
+            "demand_models": [
+                "gravity-0.5",
+                "gravity-1.0",
+                "gravity-2.0",
+                "uniform",
+                "hub-skewed",
+            ],
+            "modes": ["single", "ecmp"],
+        },
+    )
+
+
 def all_scenarios() -> List[Scenario]:
     """Every experiment scenario, in experiment order."""
     return [
@@ -249,8 +288,9 @@ def all_scenarios() -> List[Scenario]:
     ]
 
 
-#: Factory per experiment id (E9/E10 are supplementary; see
-#: :func:`ablations_scenario` and :func:`local_search_scenario`).
+#: Factory per experiment id (E9/E10/E11 are supplementary; see
+#: :func:`ablations_scenario`, :func:`local_search_scenario`, and
+#: :func:`traffic_scenario`).
 SCENARIO_FACTORIES: Dict[str, Callable[..., Scenario]] = {
     "E1": fkp_phase_scenario,
     "E2": buy_at_bulk_scenario,
@@ -262,6 +302,7 @@ SCENARIO_FACTORIES: Dict[str, Callable[..., Scenario]] = {
     "E8": scaling_scenario,
     "E9": ablations_scenario,
     "E10": local_search_scenario,
+    "E11": traffic_scenario,
 }
 
 #: Reduced sweep grids for CI smoke runs: same axes, smaller sizes, so every
@@ -277,6 +318,7 @@ SMOKE_OVERRIDES: Dict[str, Dict[str, object]] = {
     "E8": {"customer_counts": (50, 100, 200)},
     "E9": {},
     "E10": {"sizes": (250,), "anneal_iterations": 400},
+    "E11": {"num_cities": 20},
 }
 
 

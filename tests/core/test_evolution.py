@@ -133,6 +133,17 @@ class TestGrowthBehaviour:
             assert link.cable is not None
             assert link.capacity >= link.load - 1e-9
 
+    def test_state_backed_records_match_direct_rederivation(self, small_trace):
+        """The IncrementalState-maintained period stats equal re-deriving
+        them from the topology (bit-identical: the per-period rebuild sums
+        in the same link/node insertion order as the direct sweeps)."""
+        topo = small_trace.topology
+        final = small_trace.final()
+        assert final.cumulative_cost == topo.total_install_cost()
+        assert final.total_demand == sum(
+            n.demand for n in topo.nodes() if n.role == NodeRole.CUSTOMER
+        )
+
 
 class TestSpatialAttachment:
     """The grid-backed cheapest-attachment path must match the full scan."""

@@ -67,6 +67,33 @@ class TestDemandMatrix:
         assert matrix.scaled(2.5).demand("a", "b") == pytest.approx(5.0)
 
 
+class TestFromArrays:
+    def test_matches_set_demand(self):
+        via_calls = DemandMatrix(endpoints=["a", "b", "c"])
+        via_calls.set_demand("a", "b", 2.0)
+        via_calls.set_demand("c", "a", 3.0)
+        via_arrays = DemandMatrix.from_arrays(
+            ["a", "b", "c"], [0, 2], [1, 0], [2.0, 3.0]
+        )
+        assert sorted(via_arrays.pairs()) == sorted(via_calls.pairs())
+        assert via_arrays.demand("a", "c") == 3.0
+
+    def test_keys_canonicalized(self):
+        matrix = DemandMatrix.from_arrays(["b", "a"], [0], [1], [1.5])
+        assert matrix.demand("a", "b") == 1.5
+        assert matrix.demand("b", "a") == 1.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DemandMatrix.from_arrays(["a", "b"], [0], [0], [1.0])
+        with pytest.raises(ValueError):
+            DemandMatrix.from_arrays(["a", "b"], [0], [1], [-1.0])
+        with pytest.raises(ValueError):
+            DemandMatrix.from_arrays(["a", "b"], [0, 1], [1], [1.0])
+        with pytest.raises(ValueError):
+            DemandMatrix.from_arrays(["a", "a"], [0], [1], [1.0])
+
+
 class TestGravityDemand:
     def test_total_volume_normalized(self):
         matrix = gravity_demand(sample_cities(), total_volume=100.0)

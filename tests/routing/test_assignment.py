@@ -59,12 +59,38 @@ class TestAssignDemand:
         assign_demand(topo, demand, reset_loads=True)
         assert topo.link("x", "y").load == pytest.approx(1.0)
 
-    def test_paths_recorded(self):
+    def test_paths_recorded_by_per_pair_reference(self):
         topo = backbone()
         demand = DemandMatrix(endpoints=["x", "z"])
         demand.set_demand("x", "z", 1.0)
-        result = assign_demand(topo, demand)
+        result = assign_demand(topo, demand, method="per-pair")
         assert result.paths[("x", "z")] == ["x", "y", "z"]
+        # The batched engine never resolves per-pair paths.
+        batched = assign_demand(topo, demand)
+        assert batched.paths == {}
+        assert batched.link_loads == result.link_loads
+
+    def test_unknown_method_and_mode_rejected(self):
+        topo = backbone()
+        demand = DemandMatrix(endpoints=["x", "z"])
+        demand.set_demand("x", "z", 1.0)
+        with pytest.raises(ValueError):
+            assign_demand(topo, demand, method="mystery")
+        with pytest.raises(ValueError):
+            assign_demand(topo, demand, method="per-pair", mode="ecmp")
+
+    def test_batched_matches_per_pair_on_loads(self):
+        topo = backbone()
+        demand = DemandMatrix(endpoints=["x", "y", "z"])
+        demand.set_demand("x", "y", 2.0)
+        demand.set_demand("x", "z", 3.0)
+        demand.set_demand("y", "z", 5.0)
+        reference = assign_demand(topo, demand, method="per-pair")
+        reference_loads = {link.key: link.load for link in topo.links()}
+        batched = assign_demand(topo, demand, method="batched")
+        assert {link.key: link.load for link in topo.links()} == reference_loads
+        assert batched.routed_volume == reference.routed_volume
+        assert batched.link_loads == reference.link_loads
 
 
 class TestCustomerToCore:
@@ -132,6 +158,23 @@ class TestSearchCounts:
         demand.set_demand("y", "z", 3.0)
         topo.compiled()
         KERNEL_COUNTERS.reset()
-        assign_demand(topo, demand)
+        assign_demand(topo, demand, method="per-pair")
         # Two distinct sources (x, y) — the x search is reused for both x pairs.
         assert KERNEL_COUNTERS.single_source == 2
+
+    def test_batched_assignment_counters(self):
+        from repro.geography.demand import DemandMatrix
+        from repro.topology.compiled import KERNEL_COUNTERS
+
+        topo = backbone()
+        demand = DemandMatrix(endpoints=["x", "y", "z"])
+        demand.set_demand("x", "y", 1.0)
+        demand.set_demand("x", "z", 2.0)
+        demand.set_demand("y", "z", 3.0)
+        topo.compiled()
+        KERNEL_COUNTERS.reset()
+        assign_demand(topo, demand, method="batched")
+        assert KERNEL_COUNTERS.traffic_batched_sources == 2
+        assert KERNEL_COUNTERS.single_source == 2
+        assert KERNEL_COUNTERS.traffic_assigned_pairs == 3
+        assert KERNEL_COUNTERS.traffic_ecmp_splits == 0

@@ -5,6 +5,7 @@ import pytest
 from repro.routing.utilization import (
     load_concentration,
     most_loaded_links,
+    utilization_bin,
     utilization_report,
 )
 from repro.topology.graph import Topology
@@ -44,6 +45,57 @@ class TestUtilizationReport:
         report = utilization_report(Topology())
         assert report.mean_utilization == 0.0
         assert report.peak_utilization == 0.0
+
+    def test_loaded_zero_capacity_link_counts_as_overloaded(self):
+        """A loaded link with zero installed capacity is an overload, not a
+        link to skip silently; it stays out of the ratio statistics."""
+        topo = Topology()
+        topo.add_node("a")
+        topo.add_node("b")
+        # Link construction rejects capacity<=0; a zero-capacity link arises
+        # from later annotation (e.g. decommissioning a cable).
+        topo.add_link("a", "b", load=5.0).capacity = 0.0
+        report = utilization_report(topo)
+        assert report.overloaded_links == [("a", "b")]
+        assert report.mean_utilization == 0.0
+        assert report.total_capacity == 0.0
+        assert sum(report.utilization_histogram.values()) == 0
+
+    def test_idle_zero_capacity_link_not_overloaded(self):
+        topo = Topology()
+        topo.add_node("a")
+        topo.add_node("b")
+        topo.add_link("a", "b", load=0.0).capacity = 0.0
+        report = utilization_report(topo)
+        assert report.overloaded_links == []
+
+
+class TestUtilizationBin:
+    def test_bin_lower_edges_are_half_open(self):
+        assert utilization_bin(0.0) == 0.0
+        assert utilization_bin(0.0999) == 0.0
+        assert utilization_bin(0.1) == 0.1
+        assert utilization_bin(0.85) == 0.8
+
+    def test_overflow_lands_in_last_bin(self):
+        assert utilization_bin(0.9) == 0.9
+        assert utilization_bin(1.0) == 0.9
+        assert utilization_bin(2.5) == 0.9
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            utilization_bin(-0.1)
+
+    def test_histogram_uses_the_bin_keys(self):
+        topo = Topology()
+        for name in "abc":
+            topo.add_node(name)
+        topo.add_link("a", "b", capacity=100.0, load=15.0)  # 0.1 bin
+        topo.add_link("b", "c", capacity=10.0, load=25.0)  # overflow bin
+        histogram = utilization_report(topo).utilization_histogram
+        assert histogram[0.1] == 1
+        assert histogram[0.9] == 1
+        assert sum(histogram.values()) == 2
 
 
 class TestLoadHelpers:

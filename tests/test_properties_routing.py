@@ -11,6 +11,7 @@ from repro.optimization.flow import network_from_topology
 from repro.optimization.mst import euclidean_mst_length, prim_mst_points
 from repro.optimization.steiner import geometric_steiner_backbone
 from repro.routing.assignment import assign_demand
+from repro.routing.engine import compile_demand, route_demand
 from repro.routing.utilization import utilization_report
 from repro.topology.graph import Topology
 
@@ -78,6 +79,102 @@ class TestRoutingProperties:
         assign_demand(topology, demand, endpoint_map={str(i): i for i in range(n)})
         report = utilization_report(topology)
         assert report.total_load >= 3.0 - 1e-9
+
+
+def random_demand(
+    rng: random.Random, n: int, pairs: int, integral: bool
+) -> DemandMatrix:
+    """A random demand matrix over str(i) endpoints (volumes accumulate)."""
+    demand = DemandMatrix(endpoints=[str(i) for i in range(n)])
+    for _ in range(pairs):
+        a, b = rng.sample(range(n), 2)
+        volume = float(rng.randint(1, 12)) if integral else rng.uniform(0.25, 8.0)
+        demand.set_demand(str(a), str(b), demand.demand(str(a), str(b)) + volume)
+    return demand
+
+
+class TestBatchedEngineProperties:
+    @given(
+        st.integers(min_value=3, max_value=24),
+        st.integers(min_value=0, max_value=12),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_batched_loads_bit_identical_for_integral_volumes(self, n, extra, seed):
+        """Integral volumes sum exactly in any order: loads must match bitwise.
+
+        Routing runs on Euclidean lengths, where exact shortest-path ties
+        have measure zero, so both methods load the same (unique) paths; the
+        engine's equivalence contract does not cover tied shortest paths
+        (see the repro.routing.engine module docstring).
+        """
+        rng = random.Random(seed)
+        topology = random_connected_topology(rng, n, extra)
+        demand = random_demand(rng, n, min(12, n), integral=True)
+        endpoint_map = {str(i): i for i in range(n)}
+        reference = assign_demand(topology, demand, endpoint_map, method="per-pair")
+        reference_loads = [link.load for link in topology.links()]
+        batched = assign_demand(topology, demand, endpoint_map, method="batched")
+        assert [link.load for link in topology.links()] == reference_loads
+        assert batched.routed_volume == reference.routed_volume
+        assert batched.unrouted_volume == reference.unrouted_volume
+        assert batched.link_loads == reference.link_loads
+
+    @given(
+        st.integers(min_value=3, max_value=24),
+        st.integers(min_value=0, max_value=12),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_batched_matches_per_pair_for_float_volumes(self, n, extra, seed):
+        """Arbitrary volumes: same loads up to float accumulation order."""
+        rng = random.Random(seed)
+        topology = random_connected_topology(rng, n, extra)
+        demand = random_demand(rng, n, min(12, n), integral=False)
+        endpoint_map = {str(i): i for i in range(n)}
+        reference = assign_demand(topology, demand, endpoint_map, method="per-pair")
+        reference_loads = [link.load for link in topology.links()]
+        batched = assign_demand(topology, demand, endpoint_map, method="batched")
+        for observed, expected in zip(
+            (link.load for link in topology.links()), reference_loads
+        ):
+            assert abs(observed - expected) <= 1e-9 * max(1.0, abs(expected))
+        assert abs(batched.routed_volume - reference.routed_volume) <= 1e-9 * max(
+            1.0, reference.routed_volume
+        )
+        assert batched.unrouted_volume == reference.unrouted_volume
+
+    @given(
+        st.integers(min_value=4, max_value=20),
+        st.integers(min_value=2, max_value=12),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_ecmp_deterministic_and_conserves_volume_per_pair(self, n, extra, seed):
+        """Same seed → same split; every pair's volume is conserved."""
+        rng = random.Random(seed)
+        topology = random_connected_topology(rng, n, extra)
+        a, b = rng.sample(range(n), 2)
+        volume = rng.uniform(1.0, 9.0)
+        demand = DemandMatrix(endpoints=[str(a), str(b)])
+        demand.set_demand(str(a), str(b), volume)
+        compiled = compile_demand(topology, demand, {str(a): a, str(b): b})
+        flow = route_demand(compiled, weight="hops", mode="ecmp")
+        again = route_demand(compiled, weight="hops", mode="ecmp")
+        assert list(flow.edge_loads) == list(again.edge_loads)
+        graph = compiled.graph
+        for endpoint in (a, b):
+            index = graph.index_of[endpoint]
+            incident = sum(
+                flow.edge_loads[e]
+                for e in range(graph.num_edges)
+                if index in (graph.edge_u[e], graph.edge_v[e])
+            )
+            assert abs(incident - volume) <= 1e-9 * max(1.0, volume)
+        hops = topology.hop_distances(a)[b]
+        assert abs(sum(flow.edge_loads) - volume * hops) <= 1e-9 * max(
+            1.0, volume * hops
+        )
 
 
 class TestFlowProperties:

@@ -89,6 +89,30 @@ class TestMatrices:
         with pytest.raises(ValueError):
             hub_and_spoke_matrix(cities, hub_name="atlantis")
 
+    def test_hub_skewed_blends_hub_and_gravity(self):
+        from repro.workloads.matrices import hub_skewed_matrix
+
+        cities = reference_population().largest(6)
+        hub = cities[0].name
+        matrix = hub_skewed_matrix(
+            cities, hub, hub_fraction=0.6, total_volume=1000.0
+        )
+        assert matrix.total() == pytest.approx(1000.0)
+        # The hub carries its dedicated 60% plus its gravity share.
+        assert matrix.outgoing(hub) > 600.0
+        # The gravity component keeps non-hub pairs non-empty.
+        non_hub = [
+            (a, b, v) for a, b, v in matrix.pairs() if hub not in (a, b)
+        ]
+        assert non_hub
+
+    def test_hub_skewed_fraction_validated(self):
+        from repro.workloads.matrices import hub_skewed_matrix
+
+        cities = reference_population().largest(3)
+        with pytest.raises(ValueError):
+            hub_skewed_matrix(cities, cities[0].name, hub_fraction=1.5)
+
     def test_gravity_more_local_than_uniform(self):
         population = reference_population()
         cities = population.largest(12)
