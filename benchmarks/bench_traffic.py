@@ -17,7 +17,12 @@ benchmark:
 3. routes a sample of single pairs in ECMP mode over hop weights and asserts
    per-pair conservation to 1e-9: volume out of the source, volume into the
    target, and total volume-hops all equal the pair's demand (times its hop
-   distance).
+   distance);
+4. when scipy is available, routes the same compiled demand through both
+   engine backends and asserts the numpy batch path actually engaged
+   (``batch_dijkstra_calls``; no silent fallback) with edge loads within
+   1e-9 of the pure-Python reference (bit-identical here: integral volumes
+   on tie-free Euclidean weights).
 
 Writes ``BENCH_E11.json`` and a text table under ``benchmarks/results/``.
 """
@@ -39,7 +44,7 @@ from repro.experiments.runner import run_experiment
 from repro.geography.demand import DemandMatrix
 from repro.routing.assignment import assign_demand
 from repro.routing.engine import compile_demand, route_demand
-from repro.topology.compiled import KERNEL_COUNTERS, dijkstra_indices
+from repro.topology.compiled import KERNEL_COUNTERS, dijkstra_indices, have_numpy_backend
 from repro.topology.graph import Topology
 
 NUM_NODES = 2000
@@ -167,6 +172,37 @@ def check_ecmp_conservation(num_nodes: int, seed: int, sample_pairs: int):
     return {"pairs_checked": checked, "max_relative_error": max_error}
 
 
+def check_backend_parity(num_nodes: int, seed: int):
+    """numpy batch routing must engage and match the reference to 1e-9.
+
+    Integral volumes on tie-free Euclidean weights mean the vectors are in
+    fact bit-identical; the 1e-9 gate is the documented contract, not the
+    expected error.  Skipped (recorded, not silent) when scipy is absent —
+    CI installs scipy, so the bench matrix always exercises the batch path.
+    """
+    if not have_numpy_backend():
+        return {"available": False}
+    topology, demand, endpoint_map = build_instance(num_nodes, 4, seed + 2)
+    compiled = compile_demand(topology, demand, endpoint_map)
+    reference = route_demand(compiled, backend="python")
+    KERNEL_COUNTERS.reset()
+    batched = route_demand(compiled, backend="numpy")
+    counters = KERNEL_COUNTERS.snapshot()
+    assert counters["batch_dijkstra_calls"] >= 1, "numpy batch path did not engage"
+    reference_loads = reference.loads_list()
+    max_diff = max(
+        (abs(a - b) for a, b in zip(reference_loads, batched.loads_list())),
+        default=0.0,
+    )
+    scale = max(1.0, max(reference_loads, default=0.0))
+    assert max_diff <= 1e-9 * scale, f"backend load divergence {max_diff}"
+    return {
+        "available": True,
+        "batch_calls": counters["batch_dijkstra_calls"],
+        "max_abs_diff": max_diff,
+    }
+
+
 def run_benchmark(smoke: bool = False):
     num_nodes = SMOKE_NUM_NODES if smoke else NUM_NODES
     num_sources = SMOKE_NUM_SOURCES if smoke else NUM_SOURCES
@@ -178,6 +214,7 @@ def run_benchmark(smoke: bool = False):
         "mode": "smoke" if smoke else "full",
         "timing": timing,
         "ecmp_conservation": ecmp,
+        "backend_parity": check_backend_parity(SMOKE_NUM_NODES, SEED),
     }
     rows = [
         {
@@ -202,6 +239,10 @@ def check_acceptance(results, smoke: bool = False):
     )
     assert timing["bit_identical_loads"]
     assert results["ecmp_conservation"]["max_relative_error"] <= CONSERVATION_RTOL
+    parity = results["backend_parity"]
+    if parity["available"]:
+        assert parity["batch_calls"] >= 1
+        assert parity["max_abs_diff"] <= CONSERVATION_RTOL * SMOKE_NUM_NODES
 
 
 def main(smoke: bool = False, jobs: int = 1, force: bool = False):

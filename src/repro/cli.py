@@ -114,7 +114,7 @@ def build_parser() -> argparse.ArgumentParser:
         "experiments",
         nargs="*",
         metavar="EXPERIMENT",
-        help="experiment ids (E1..E11) or 'all' (required unless --list)",
+        help="experiment ids (E1..E12) or 'all' (required unless --list)",
     )
     run.add_argument("--jobs", type=int, default=1, help="worker processes (default 1)")
     run.add_argument(

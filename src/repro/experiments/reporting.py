@@ -229,6 +229,10 @@ def experiment_bench_payload(result: ExperimentResult) -> Dict[str, object]:
         "timing": {
             "sweep_seconds": round(result.report.elapsed_seconds, 6),
             "per_task": summarize_timings(list(result.record_timings.values())),
+            "peak_rss_kb": max(
+                (record.timing.get("peak_rss_kb", 0) for record in result.records),
+                default=0,
+            ),
         },
         "counters": {
             key: sum(record.counters.get(key, 0) for record in result.records)

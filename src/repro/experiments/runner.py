@@ -20,6 +20,7 @@ manifest schema version, so parameter or schema changes miss cleanly).
 from __future__ import annotations
 
 import multiprocessing
+import resource
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -37,8 +38,26 @@ def _start_method() -> str:
     return "fork" if "fork" in methods else "spawn"
 
 
+def peak_rss_kb() -> int:
+    """Peak resident set size of this process so far, in kilobytes.
+
+    ``ru_maxrss`` is a high-water mark, not a current reading: it only ever
+    grows within a process, so per-task values reflect the largest footprint
+    of the worker up to and including that task.
+    """
+    usage = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # Linux reports kilobytes; macOS reports bytes.
+    return int(usage if usage < 1 << 40 else usage // 1024)
+
+
 def execute_task(task: Task) -> TaskRecord:
-    """Run one task in the current process and return its record."""
+    """Run one task in the current process and return its record.
+
+    ``timing`` carries wall-clock seconds and the executing process's peak
+    RSS; both live outside the record's identity
+    (:data:`~repro.experiments.manifest.TIMING_FIELDS`), so payload digests
+    and manifests stay byte-identical across machines and memory profiles.
+    """
     suite = get_suite(task.scenario_id)
     KERNEL_COUNTERS.reset()
     start = time.perf_counter()
@@ -53,7 +72,7 @@ def execute_task(task: Task) -> TaskRecord:
         digest=task.digest,
         payload=payload,
         counters=dict(counters),
-        timing={"seconds": round(elapsed, 6)},
+        timing={"seconds": round(elapsed, 6), "peak_rss_kb": peak_rss_kb()},
     )
 
 

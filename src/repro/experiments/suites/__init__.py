@@ -1,4 +1,4 @@
-"""Built-in experiment suites (E1–E11).
+"""Built-in experiment suites (E1–E12).
 
 Importing this package registers every suite with the engine registry;
 worker processes do the same via
@@ -17,6 +17,7 @@ from . import (  # noqa: F401  (import side effect registers the suites)
     e9_ablations,
     e10_local_search,
     e11_traffic,
+    e12_scaling_tier,
 )
 
 __all__ = [
@@ -31,4 +32,5 @@ __all__ = [
     "e9_ablations",
     "e10_local_search",
     "e11_traffic",
+    "e12_scaling_tier",
 ]

@@ -132,7 +132,14 @@ def run_point(point: Mapping[str, object], seed: int) -> Dict[str, object]:
     unique_sources = len(set(compiled.sources))
 
     before = KERNEL_COUNTERS.snapshot()
-    flow = route_demand(compiled, weight=ROUTE_WEIGHT, mode=str(point["mode"]))
+    # Pinned to the canonical Python backend: the sweep routes on unit hop
+    # weights, where single-path mode depends on predecessor tie-breaking and
+    # scipy's tree may pick a different (equally shortest) tied optimum.
+    # Payloads therefore stay byte-identical across environments; the numpy
+    # batch path is gated separately by E12 and benchmarks/bench_traffic.py.
+    flow = route_demand(
+        compiled, weight=ROUTE_WEIGHT, mode=str(point["mode"]), backend="python"
+    )
     after = KERNEL_COUNTERS.snapshot()
 
     report = provision_topology(topology, default_catalog(), loads=flow.edge_loads)

@@ -1,8 +1,13 @@
 """Path-length metrics: average shortest path, diameter, eccentricity, stretch.
 
 All metrics run on the topology's compiled CSR view: the graph is compiled
-once per call (reusing the version-keyed cache) and the BFS/Dijkstra array
-kernels loop over int indices instead of building per-source dictionaries.
+once per call (reusing the version-keyed cache) and the distance-only bulk
+sweeps go through the batch kernels (:func:`~repro.topology.compiled.
+batch_hop_lengths` / :func:`~repro.topology.compiled.batch_shortest_lengths`),
+which dispatch many sources per ``scipy.sparse.csgraph`` call under the numpy
+backend and fall back to the per-source pure-Python kernels otherwise.  Hop
+metrics are exact integers and weighted distances are backend-identical, so
+metric values do not depend on the backend.
 """
 
 from __future__ import annotations
@@ -12,7 +17,7 @@ from math import inf
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..geography.points import euclidean
-from ..topology.compiled import bfs_indices, dijkstra_indices
+from ..topology.compiled import batch_hop_lengths, batch_shortest_lengths
 from ..topology.graph import Topology
 
 
@@ -38,11 +43,12 @@ def average_shortest_path_hops(
     graph = topology.compiled()
     total = 0.0
     count = 0
-    for source in sources:
-        dist, order = bfs_indices(graph, graph.index_of[source])
-        for i in order:
-            total += dist[i]
-        count += len(order) - 1  # exclude the source itself
+    source_indices = [graph.index_of[source] for source in sources]
+    for row in batch_hop_lengths(graph, source_indices):
+        for d in row:
+            if d > 0:
+                total += d
+                count += 1
     return total / count if count else 0.0
 
 
@@ -57,12 +63,12 @@ def hop_diameter(topology: Topology, sample_size: Optional[int] = None, seed: in
     else:
         sources = node_ids
     graph = topology.compiled()
+    source_indices = [graph.index_of[source] for source in sources]
     diameter = 0
-    for source in sources:
-        dist, order = bfs_indices(graph, graph.index_of[source])
-        # BFS discovers nodes in non-decreasing distance order.
-        if order:
-            diameter = max(diameter, dist[order[-1]])
+    for row in batch_hop_lengths(graph, source_indices):
+        largest = max(row)
+        if largest > diameter:
+            diameter = largest
     return diameter
 
 
@@ -77,11 +83,11 @@ def weighted_diameter(topology: Topology, sample_size: Optional[int] = None, see
     else:
         sources = node_ids
     graph = topology.compiled()
-    weights = graph.edge_weights()
+    weights = graph.edge_weight_column(None)
+    source_indices = [graph.index_of[source] for source in sources]
     diameter = 0.0
-    for source in sources:
-        dist, _, _ = dijkstra_indices(graph, graph.index_of[source], weights)
-        for d in dist:
+    for row in batch_shortest_lengths(graph, source_indices, weights):
+        for d in row:
             if d != inf and d > diameter:
                 diameter = d
     return diameter
@@ -90,11 +96,11 @@ def weighted_diameter(topology: Topology, sample_size: Optional[int] = None, see
 def eccentricity_distribution(topology: Topology) -> Dict[Any, int]:
     """Hop eccentricity of every node (max hop distance to any reachable node)."""
     graph = topology.compiled()
-    result = {}
-    for index, node_id in enumerate(graph.ids):
-        dist, order = bfs_indices(graph, index)
-        result[node_id] = dist[order[-1]] if order else 0
-    return result
+    rows = batch_hop_lengths(graph, range(graph.num_nodes))
+    return {
+        node_id: max(rows[index])
+        for index, node_id in enumerate(graph.ids)
+    }
 
 
 def geographic_stretch(
@@ -122,9 +128,12 @@ def geographic_stretch(
             u, v = rng.sample(node_ids, 2)
             pairs.append((u, v))
     graph = topology.compiled()
-    weights = graph.edge_weights()
-    distance_cache: Dict[int, Any] = {}
-    ratios = []
+    weights = graph.edge_weight_column(None)
+    # Resolve the measurable pairs first, then batch one distance row per
+    # unique source instead of one cached search per pair.
+    measured: List[Tuple[int, int, float]] = []
+    source_order: List[int] = []
+    seen: Dict[int, int] = {}
     for u, v in pairs:
         loc_u = topology.node(u).location
         loc_v = topology.node(v).location
@@ -134,11 +143,16 @@ def geographic_stretch(
         if direct <= 0:
             continue
         source_index = graph.index_of[u]
-        dist = distance_cache.get(source_index)
-        if dist is None:
-            dist, _, _ = dijkstra_indices(graph, source_index, weights)
-            distance_cache[source_index] = dist
-        d = dist[graph.index_of[v]]
+        row = seen.get(source_index)
+        if row is None:
+            row = len(source_order)
+            seen[source_index] = row
+            source_order.append(source_index)
+        measured.append((row, graph.index_of[v], direct))
+    rows = batch_shortest_lengths(graph, source_order, weights)
+    ratios = []
+    for row, target_index, direct in measured:
+        d = rows[row][target_index]
         if d == inf:
             continue
         ratios.append(d / direct)

@@ -448,6 +448,12 @@ class IncrementalState:
         Refills the state's single long-lived :class:`_ReachabilityIndex`
         **in place**: undo closures from earlier moves hold a reference to
         that object, so its identity must survive deletion rebuilds.
+
+        ``components_indices`` (like the cached multi-source BFS behind
+        ``_mean_customer_hops``) dispatches to the scipy batch kernel on
+        large graphs; labels are canonicalized to first-node-index order, so
+        rebuild results are backend-identical and the incremental trajectory
+        does not depend on whether scipy is installed.
         """
         topology = self.topology
         graph = topology.compiled()

@@ -152,11 +152,15 @@ def all_pairs_length_matrix(
     topology: Topology,
     weight: Optional[Callable[[Link], float]] = None,
     sources: Optional[List[Any]] = None,
+    backend: Optional[str] = None,
 ) -> Tuple[List[Any], List[Any], List[List[float]]]:
     """Shortest-path length rows from every source (or a subset), as arrays.
 
     The array-native sibling of :func:`all_pairs_shortest_lengths` for bulk
     consumers (metrics, benchmarks): no per-pair dictionaries are built.
+    Under the numpy backend (the default when scipy is available) the whole
+    batch runs through a bounded number of ``csgraph.dijkstra`` dispatches;
+    distances are backend-identical.
 
     Returns:
         ``(sources, columns, rows)`` where ``rows[i][j]`` is the distance
@@ -171,7 +175,7 @@ def all_pairs_length_matrix(
             raise TopologyError(f"node {source!r} is not in the topology")
         source_indices.append(graph.index_of[source])
     weights = graph.edge_weights(weight)
-    rows = batch_shortest_lengths(graph, source_indices, weights)
+    rows = batch_shortest_lengths(graph, source_indices, weights, backend=backend)
     return source_list, list(graph.ids), rows
 
 
@@ -179,13 +183,14 @@ def all_pairs_shortest_lengths(
     topology: Topology,
     weight: Optional[Callable[[Link], float]] = None,
     sources: Optional[List[Any]] = None,
+    backend: Optional[str] = None,
 ) -> Dict[Any, Dict[Any, float]]:
     """Shortest-path lengths from every source (or a subset) to all nodes.
 
     The topology is compiled once and the weight column computed once; each
     source then runs the array kernel directly.
     """
-    source_list, ids, rows = all_pairs_length_matrix(topology, weight, sources)
+    source_list, ids, rows = all_pairs_length_matrix(topology, weight, sources, backend)
     result: Dict[Any, Dict[Any, float]] = {}
     for source, row in zip(source_list, rows):
         if inf in row:

@@ -60,6 +60,7 @@ def assign_demand(
     reset_loads: bool = True,
     method: str = "batched",
     mode: str = "single",
+    backend: Optional[str] = None,
 ) -> AssignmentResult:
     """Route every demand pair over shortest paths and add loads to links.
 
@@ -72,6 +73,9 @@ def assign_demand(
         reset_loads: Zero all link loads before assignment.
         method: ``"batched"`` (the engine) or ``"per-pair"`` (the reference).
         mode: ``"single"`` or ``"ecmp"`` flow splitting (batched only).
+        backend: Kernel backend for the batched engine (see
+            :func:`repro.routing.engine.route_demand`); ignored by
+            ``method="per-pair"``, which is always pure Python.
 
     Returns:
         An :class:`AssignmentResult`; unrouted pairs (missing nodes or
@@ -79,7 +83,7 @@ def assign_demand(
     """
     if method == "batched":
         compiled = compile_demand(topology, demand, endpoint_map)
-        flow = route_demand(compiled, weight=weight, mode=mode)
+        flow = route_demand(compiled, weight=weight, mode=mode, backend=backend)
         flow.flush(reset=reset_loads)
         return AssignmentResult(
             routed_volume=flow.routed_volume,

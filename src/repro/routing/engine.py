@@ -10,11 +10,11 @@ for that traffic.  This module is the array pipeline behind that evaluation:
   source/target/volume columns aligned with a
   :class:`~repro.topology.compiled.CompiledGraph` snapshot — endpoint-name
   resolution happens exactly once, not once per routing pass.
-* :func:`route_demand` routes every pair with **one Dijkstra per unique
-  source** (``KERNEL_COUNTERS.traffic_batched_sources`` counts them) and
-  scatters volumes onto a per-edge ``array('d')`` load column by walking the
-  predecessor tree bottom-up — O(V) subtree accumulation per source instead
-  of one path resolution per pair.
+* :func:`route_demand` routes every pair with **one shortest-path search per
+  unique source** (``KERNEL_COUNTERS.traffic_batched_sources`` counts them)
+  and scatters volumes onto a per-edge load column by pushing flow down the
+  predecessor tree — O(V) subtree accumulation per source instead of one
+  path resolution per pair.
 * **ECMP mode** (``mode="ecmp"``) splits each pair's volume equally across
   all tied shortest paths: per source, shortest-path counts are accumulated
   along the equal-distance DAG and flow is distributed proportionally
@@ -23,6 +23,45 @@ for that traffic.  This module is the array pipeline behind that evaluation:
 * :class:`FlowResult` holds the load column and writes it back to the
   annotated object graph in a single :meth:`~FlowResult.flush` pass —
   ``Link.load`` is a boundary concern, not a hot-loop accumulator.
+
+Backends
+--------
+
+``route_demand`` takes the library-wide ``backend=`` switch (see
+:mod:`repro.topology.compiled`).  The ``"python"`` path is the canonical
+reference: one heapq Dijkstra per unique source, predecessor-tree scatter in
+reverse tree-BFS order.  The ``"numpy"`` path batches sources through
+``scipy.sparse.csgraph.dijkstra`` (many sources per call over the cached CSR
+matrix) and replaces the per-node Python loops with array programs:
+
+* **Single-path scatter**: tree depths are computed from the predecessor
+  array by pointer doubling (O(V log depth)), giving a topological order of
+  the shortest-path tree; flow then cascades one depth level at a time with
+  ``np.add.at`` — every node at a level pushes its accumulated subtree flow
+  to its parent simultaneously.
+* **ECMP**: the equal-distance DAG is extracted edge-wise over all
+  half-edges at once (``dist[u] + w == dist[v]``, exact float equality);
+  path counts and flow shares are accumulated level-by-level over the sorted
+  unique distance values (strictly positive weights mean equal-distance
+  nodes are never DAG-ordered).
+
+The numpy backend requires strictly positive weights (csgraph's sparse
+representation is ambiguous about explicit zeros); under ``backend="auto"``
+nonpositive weight columns fall back to the Python path, while an explicit
+``backend="numpy"`` raises instead of silently falling back.
+
+Backend equivalence: distances are backend-identical, so *which* pairs route
+and the per-source search plan agree exactly; counters
+(``traffic_batched_sources``/``traffic_assigned_pairs``/
+``traffic_ecmp_splits``) are backend-independent.  Edge loads agree
+bit-for-bit on integral volumes, and to float-accumulation tolerance
+otherwise (sources are processed in sorted rather than first-appearance
+order, and subtree sums associate differently).  In single-path mode under
+*tied* shortest paths (e.g. hop weights), scipy's predecessor tree may pick
+a different — equally shortest — tied optimum than the canonical Python
+tree; callers whose outputs depend on that choice pin ``backend="python"``
+(the E11 suite does) or use ECMP mode, where tie handling is explicit and
+backend-independent.
 
 Equivalence contract with the per-pair reference
 (:func:`repro.routing.assignment.assign_demand` with ``method="per-pair"``),
@@ -52,12 +91,23 @@ from math import inf
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from ..topology.compiled import (
+    BATCH_CHUNK_CELLS,
     CompiledGraph,
     KERNEL_COUNTERS,
+    _column_min,
     dijkstra_indices,
+    have_numpy_backend,
+    resolve_backend,
 )
 from ..topology.graph import Topology
 from .paths import resolve_weight
+
+if have_numpy_backend():
+    import numpy as _np
+    from scipy.sparse.csgraph import dijkstra as _scipy_dijkstra
+else:  # pragma: no cover - exercised by the no-scipy CI leg
+    _np = None
+    _scipy_dijkstra = None
 
 __all__ = [
     "CompiledDemand",
@@ -178,7 +228,8 @@ class FlowResult:
 
     Attributes:
         graph: The compiled snapshot the edge loads are aligned with.
-        edge_loads: Load per undirected edge index.
+        edge_loads: Load per undirected edge index (``array('d')`` from the
+            Python backend, float64 numpy array from the numpy backend).
         routed_volume: Total volume that found a path.
         routed_pairs: Number of pairs that found a path.
         unrouted: ``(a, b, volume)`` for unmatched or disconnected pairs.
@@ -186,7 +237,7 @@ class FlowResult:
     """
 
     graph: CompiledGraph
-    edge_loads: array
+    edge_loads: Any
     routed_volume: float
     routed_pairs: int
     unrouted: List[Tuple[str, str, float]]
@@ -197,12 +248,16 @@ class FlowResult:
         """Total volume that could not be routed."""
         return sum(volume for _, _, volume in self.unrouted)
 
+    def loads_list(self) -> List[float]:
+        """The edge load column as a plain Python float list."""
+        return self.edge_loads.tolist()
+
     def link_loads(self) -> Dict[Tuple[Any, Any], float]:
         """Boundary conversion: loaded edges as a canonical-key dictionary."""
         edge_keys = self.graph.edge_keys
         return {
             edge_keys[e]: load
-            for e, load in enumerate(self.edge_loads)
+            for e, load in enumerate(self.loads_list())
             if load != 0.0
         }
 
@@ -210,10 +265,11 @@ class FlowResult:
         """Write the edge load column back onto the live ``Link`` objects.
 
         One pass over the edge column; with ``reset=False`` loads are added to
-        whatever the links already carry instead of replacing it.
+        whatever the links already carry instead of replacing it.  Loads land
+        as plain Python floats regardless of backend.
         """
         links = self.graph.links
-        loads = self.edge_loads
+        loads = self.loads_list()
         if reset:
             for e, link in enumerate(links):
                 link.load = loads[e]
@@ -224,13 +280,18 @@ class FlowResult:
 
     def max_load(self) -> float:
         """Largest per-edge load (0.0 on an edgeless graph)."""
-        return max(self.edge_loads) if len(self.edge_loads) else 0.0
+        if not len(self.edge_loads):
+            return 0.0
+        if _np is not None and isinstance(self.edge_loads, _np.ndarray):
+            return float(self.edge_loads.max())
+        return max(self.edge_loads)
 
 
 def route_demand(
     demand: CompiledDemand,
     weight: Optional[str] = None,
     mode: str = "single",
+    backend: Optional[str] = None,
 ) -> FlowResult:
     """Route a compiled demand matrix; one shortest-path search per source.
 
@@ -242,6 +303,10 @@ def route_demand(
             to the per-pair reference on unique-shortest-path instances —
             see the module docstring for the tie caveat); ``"ecmp"`` splits
             each pair's volume equally over all tied shortest paths.
+        backend: ``"python"`` (canonical reference), ``"numpy"`` (batched
+            ``csgraph`` searches + vectorized scatter; requires scipy and
+            strictly positive weights), or ``None``/``"auto"``.  See the
+            module docstring for the backend equivalence contract.
 
     Returns:
         A :class:`FlowResult` whose ``edge_loads`` column is aligned with
@@ -250,9 +315,25 @@ def route_demand(
     if mode not in ("single", "ecmp"):
         raise ValueError(f"unknown routing mode {mode!r}")
     graph = demand.graph
-    weights = graph.edge_weights(resolve_weight(weight))
-    if mode == "ecmp" and graph.num_edges > 0 and min(weights) <= 0:
+    weights = graph.edge_weight_column(weight, resolve_weight(weight))
+    positive = graph.num_edges == 0 or _column_min(weights) > 0
+    if mode == "ecmp" and not positive:
         raise ValueError("ECMP routing requires strictly positive weights")
+    if resolve_backend(backend) == "numpy" and graph.num_edges > 0:
+        if positive:
+            return _route_demand_numpy(demand, weights, mode)
+        if backend == "numpy":
+            raise ValueError(
+                "backend='numpy' routing requires strictly positive weights"
+            )
+    return _route_demand_python(demand, weights, mode)
+
+
+def _route_demand_python(
+    demand: CompiledDemand, weights: Any, mode: str
+) -> FlowResult:
+    """The canonical per-source loop: heapq Dijkstra + predecessor scatter."""
+    graph = demand.graph
     edge_loads = array("d", [0.0]) * graph.num_edges
     unrouted = list(demand.unmatched)
     routed_volume = 0.0
@@ -329,7 +410,7 @@ def _scatter_ecmp(
     graph: CompiledGraph,
     source: int,
     dist: List[float],
-    weights: array,
+    weights: Any,
     node_flow: array,
     edge_loads: array,
 ) -> None:
@@ -344,6 +425,7 @@ def _scatter_ecmp(
     equal share per tied shortest path (Brandes-style accumulation).
     """
     rows = graph.adjacency_rows()
+    weight_values = weights.tolist()
     reached = [v for v in range(graph.num_nodes) if dist[v] != inf]
     reached.sort(key=lambda v: (dist[v], v))
     dag_preds: Dict[int, List[Tuple[int, int]]] = {}
@@ -355,7 +437,7 @@ def _scatter_ecmp(
         preds = [
             (e, u)
             for u, e in rows[v]
-            if dist[u] != inf and dist[u] + weights[e] == dist[v]
+            if dist[u] != inf and dist[u] + weight_values[e] == dist[v]
         ]
         preds.sort()
         dag_preds[v] = preds
@@ -375,3 +457,195 @@ def _scatter_ecmp(
             share = flow * (sigma[u] / sigma_v)
             edge_loads[e] += share
             node_flow[u] += share
+
+
+def _route_demand_numpy(
+    demand: CompiledDemand, weights: Any, mode: str
+) -> FlowResult:
+    """Batched route: chunked ``csgraph.dijkstra`` + vectorized scatter.
+
+    Sources are deduplicated and searched in sorted order, many per scipy
+    call (chunked to :data:`~repro.topology.compiled.BATCH_CHUNK_CELLS`).
+    Counter accounting matches the Python path: one
+    ``traffic_batched_sources`` per unique source, every routed pair as
+    ``traffic_assigned_pairs``; the batch dispatches additionally land in
+    ``batch_dijkstra_calls``/``batch_sources_total``.
+    """
+    graph = demand.graph
+    n = graph.num_nodes
+    sources = _np.asarray(demand.sources, dtype=_np.int64)
+    targets = _np.asarray(demand.targets, dtype=_np.int64)
+    volumes = _np.asarray(demand.volumes, dtype=_np.float64)
+    edge_loads = _np.zeros(graph.num_edges, dtype=_np.float64)
+    unrouted = list(demand.unmatched)
+    routed_volume = 0.0
+    routed_pairs = 0
+    unique_sources, group_of_pair = _np.unique(sources, return_inverse=True)
+    matrix = graph.scipy_csr(weights)
+    need_pred = mode == "single"
+    chunk = max(1, BATCH_CHUNK_CELLS // max(1, n))
+    for start in range(0, len(unique_sources), chunk):
+        batch = unique_sources[start : start + chunk]
+        KERNEL_COUNTERS.batch_dijkstra_calls += 1
+        KERNEL_COUNTERS.batch_sources_total += len(batch)
+        KERNEL_COUNTERS.traffic_batched_sources += len(batch)
+        KERNEL_COUNTERS.single_source += len(batch)  # backend-independent count
+        if need_pred:
+            dist_rows, pred_rows = _scipy_dijkstra(
+                matrix, directed=False, indices=batch, return_predecessors=True
+            )
+        else:
+            dist_rows = _scipy_dijkstra(matrix, directed=False, indices=batch)
+            pred_rows = None
+        if dist_rows.ndim == 1:
+            dist_rows = dist_rows[_np.newaxis, :]
+            if pred_rows is not None:
+                pred_rows = pred_rows[_np.newaxis, :]
+        for k in range(len(batch)):
+            source = int(batch[k])
+            dist = dist_rows[k]
+            positions = _np.nonzero(group_of_pair == start + k)[0]
+            pair_targets = targets[positions]
+            pair_volumes = volumes[positions]
+            reachable = _np.isfinite(dist[pair_targets])
+            if not reachable.all():
+                labels = demand.labels
+                for position in positions[~reachable].tolist():
+                    unrouted.append((*labels[position], float(volumes[position])))
+            node_flow = _np.zeros(n, dtype=_np.float64)
+            _np.add.at(
+                node_flow, pair_targets[reachable], pair_volumes[reachable]
+            )
+            group_pairs = int(reachable.sum())
+            KERNEL_COUNTERS.traffic_assigned_pairs += group_pairs
+            routed_pairs += group_pairs
+            routed_volume += float(pair_volumes[reachable].sum())
+            if not node_flow.any():
+                continue
+            if mode == "single":
+                _scatter_tree_numpy(
+                    graph, source, dist, pred_rows[k], node_flow, edge_loads
+                )
+            else:
+                _scatter_ecmp_numpy(graph, source, dist, weights, node_flow, edge_loads)
+    return FlowResult(
+        graph=graph,
+        edge_loads=edge_loads,
+        routed_volume=routed_volume,
+        routed_pairs=routed_pairs,
+        unrouted=unrouted,
+        mode=mode,
+    )
+
+
+def _scatter_tree_numpy(
+    graph: CompiledGraph,
+    source: int,
+    dist: Any,
+    pred: Any,
+    node_flow: Any,
+    edge_loads: Any,
+) -> None:
+    """Vectorized subtree scatter: pointer-doubled depths + level cascade.
+
+    The predecessor array defines the shortest-path tree; tree depth per node
+    is computed by pointer doubling (each round squares the ancestor pointer,
+    O(V log depth) total), which yields a topological order.  Flow then
+    cascades from the deepest level upward: all nodes of one depth push their
+    accumulated subtree flow onto their parents with a single ``np.add.at``
+    per level, and onto their predecessor edges (unique per level) with a
+    vectorized indexed add.
+    """
+    nodes = _np.arange(n := graph.num_nodes, dtype=_np.int64)
+    parent = pred.astype(_np.int64)
+    has_parent = parent >= 0
+    anchored = _np.where(has_parent, parent, nodes)
+    depth = has_parent.astype(_np.int64)
+    anc = anchored
+    while True:
+        anc_next = anc[anc]
+        if _np.array_equal(anc_next, anc):
+            break
+        depth = depth + depth[anc]
+        anc = anc_next
+    carriers = has_parent  # reached, non-source nodes
+    if not carriers.any():
+        return
+    carrier_nodes = nodes[carriers]
+    carrier_edges = graph.edge_ids_for_pairs(parent[carriers], carrier_nodes)
+    edge_of = _np.full(n, -1, dtype=_np.int64)
+    edge_of[carrier_nodes] = carrier_edges
+    max_depth = int(depth[carriers].max())
+    for level in range(max_depth, 0, -1):
+        vs = carrier_nodes[depth[carriers] == level]
+        flows = node_flow[vs]
+        active = flows != 0.0
+        if not active.any():
+            continue
+        vs = vs[active]
+        flows = flows[active]
+        edge_loads[edge_of[vs]] += flows  # pred edges are unique per node
+        _np.add.at(node_flow, parent[vs], flows)
+
+
+def _scatter_ecmp_numpy(
+    graph: CompiledGraph,
+    source: int,
+    dist: Any,
+    weights: Any,
+    node_flow: Any,
+    edge_loads: Any,
+) -> None:
+    """Vectorized ECMP: edge-wise DAG extraction + distance-level cascade.
+
+    The shortest-path DAG is extracted over all half-edges at once with the
+    same exact float predicate as the Python reference
+    (``dist[u] + w == dist[v]``).  Path counts (``sigma``) accumulate over
+    ascending unique distance levels and flow shares distribute over
+    descending levels — valid orderings because strictly positive weights
+    mean equal-distance nodes can never precede each other in the DAG.
+    Shares are accumulated column-wise with ``np.add.at`` per level.
+    """
+    n = graph.num_nodes
+    indptr = _np.asarray(graph.indptr, dtype=_np.int64)
+    heads = _np.asarray(graph.indices, dtype=_np.int64)
+    half_edges = _np.asarray(graph.half_edge_ids)
+    tails = _np.repeat(_np.arange(n, dtype=_np.int64), _np.diff(indptr))
+    half_weights = _np.asarray(weights, dtype=_np.float64)[half_edges]
+    finite_tail = _np.isfinite(dist[tails])
+    dag = finite_tail & (dist[tails] + half_weights == dist[heads])
+    dag_tails = tails[dag]
+    dag_heads = heads[dag]
+    dag_edges = half_edges[dag]
+    pred_count = _np.bincount(dag_heads, minlength=n)
+    levels = _np.unique(dist[_np.isfinite(dist)])
+    head_level = _np.searchsorted(levels, dist[dag_heads])
+    order = _np.argsort(head_level, kind="stable")
+    dag_tails = dag_tails[order]
+    dag_heads = dag_heads[order]
+    dag_edges = dag_edges[order]
+    head_level = head_level[order]
+    bounds = _np.searchsorted(head_level, _np.arange(len(levels) + 1))
+    sigma = _np.zeros(n, dtype=_np.float64)
+    sigma[source] = 1.0
+    for level in range(1, len(levels)):
+        lo, hi = bounds[level], bounds[level + 1]
+        if lo == hi:
+            continue
+        _np.add.at(sigma, dag_heads[lo:hi], sigma[dag_tails[lo:hi]])
+    for level in range(len(levels) - 1, 0, -1):
+        lo, hi = bounds[level], bounds[level + 1]
+        if lo == hi:
+            continue
+        h = dag_heads[lo:hi]
+        flows = node_flow[h]
+        active = flows != 0.0
+        if not active.any():
+            continue
+        level_nodes = _np.unique(h[active])
+        KERNEL_COUNTERS.traffic_ecmp_splits += int(
+            (pred_count[level_nodes] > 1).sum()
+        )
+        shares = flows[active] * sigma[dag_tails[lo:hi]][active] / sigma[h][active]
+        _np.add.at(edge_loads, dag_edges[lo:hi][active], shares)
+        _np.add.at(node_flow, dag_tails[lo:hi][active], shares)

@@ -7,9 +7,16 @@ construction and annotation but slow for the evaluation loop that dominates
 every experiment — repeated shortest paths, demand assignment, and robustness
 traces walk it one ``Link`` object at a time.
 
-:class:`CompiledGraph` snapshots a topology into flat, int-indexed CSR arrays
-(``indptr``/``indices`` plus per-edge weight columns) that the kernels in this
-module run against.  The contract between the two layers:
+:class:`CompiledGraph` snapshots a topology into flat, int-indexed CSR
+buffers (``indptr``/``indices`` plus per-edge weight columns) that the
+kernels in this module run against.  When numpy is importable the buffers are
+**native contiguous numpy arrays** (int32 CSR topology, int64 edge ids,
+float64 weight columns) — not per-call conversions — and the batch kernels
+dispatch to ``scipy.sparse.csgraph`` over a ``csr_matrix`` built zero-copy
+from (and cached next to) those buffers.  Without numpy the same attributes
+are ``array('q')``/``array('d')`` buffers and every kernel runs pure Python.
+
+The contract between the two layers:
 
 * ``Topology.version`` is a monotonically increasing counter bumped by every
   structural mutation (node/link addition or removal).
@@ -20,47 +27,142 @@ module run against.  The contract between the two layers:
 * Link *annotation* mutations (e.g. ``link.load``) do not bump the version;
   weight columns are recomputed from the live ``Link`` objects on each
   ``edge_weights`` call, so each public kernel entry sees current annotations.
-  Code that mutates annotations and holds a long-lived weight array (such as
-  ``PathCache``) can force a rebuild with ``Topology.touch()``.
+  The exception is the *named structural* columns cached by
+  :meth:`CompiledGraph.edge_weight_column` (``"length"``/``"hops"``), which
+  derive from immutable link geometry.  Code that mutates annotations and
+  holds a long-lived weight array (such as ``PathCache``) can force a rebuild
+  with ``Topology.touch()``.
+
+Backend selection
+-----------------
+
+Every batch kernel takes a ``backend=`` switch:
+
+* ``"python"`` — the canonical pure-Python implementation.  This is the
+  equality/tolerance **reference**: its deterministic tie-breaking contracts
+  (documented per kernel) define correct behaviour, and the property tests
+  compare every accelerated path against it.
+* ``"numpy"`` — the ``scipy.sparse.csgraph`` batch path (requires numpy *and*
+  scipy; raises :class:`RuntimeError` when they are unavailable, so callers
+  that must not silently fall back can pin it).
+* ``"auto"`` / ``None`` — :data:`DEFAULT_BACKEND`: ``"numpy"`` when scipy is
+  importable, else ``"python"``.
+
+Setting the environment variable ``REPRO_BACKEND=python`` masks numpy/scipy
+entirely (the no-scipy CI leg runs the whole test suite this way), while
+``REPRO_BACKEND=numpy`` makes missing scipy a hard import error.
 
 All kernels take an optional ``mask`` (a ``bytearray`` with one truthy byte
 per *active* node index), which is how removal traces degrade a topology
-without copying it: flip bytes off instead of deleting nodes.
+without copying it: flip bytes off instead of deleting nodes.  Masked calls
+always run the pure-Python path (scipy has no node-mask concept).
 """
 
 from __future__ import annotations
 
 import heapq
+import os
 from array import array
 from math import inf
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from .link import Link
 
-try:  # Optional accelerated batch kernels; the pure-Python path is canonical.
-    import numpy as _np
-    from scipy.sparse import csr_matrix as _csr_matrix
-    from scipy.sparse.csgraph import dijkstra as _scipy_dijkstra
+_ENV_BACKEND = os.environ.get("REPRO_BACKEND", "auto").strip().lower() or "auto"
+if _ENV_BACKEND not in ("auto", "python", "numpy"):
+    raise ValueError(
+        f"REPRO_BACKEND={_ENV_BACKEND!r} is not one of 'auto', 'python', 'numpy'"
+    )
 
-    _HAVE_SCIPY = True
-except ImportError:  # pragma: no cover - exercised only without scipy installed
-    _np = None
-    _csr_matrix = None
-    _scipy_dijkstra = None
-    _HAVE_SCIPY = False
+_np = None
+_csr_matrix = None
+_scipy_dijkstra = None
+_scipy_connected_components = None
+_HAVE_NUMPY = False
+_HAVE_SCIPY = False
+if _ENV_BACKEND != "python":
+    try:
+        import numpy as _np
+
+        _HAVE_NUMPY = True
+    except ImportError:  # pragma: no cover - exercised only without numpy
+        _np = None
+    if _HAVE_NUMPY:
+        try:
+            from scipy.sparse import csr_matrix as _csr_matrix
+            from scipy.sparse.csgraph import (
+                connected_components as _scipy_connected_components,
+            )
+            from scipy.sparse.csgraph import dijkstra as _scipy_dijkstra
+
+            _HAVE_SCIPY = True
+        except ImportError:  # pragma: no cover - exercised only without scipy
+            pass
+if _ENV_BACKEND == "numpy" and not _HAVE_SCIPY:
+    raise RuntimeError(
+        "REPRO_BACKEND=numpy requires numpy and scipy to be importable"
+    )
+
+#: Backend used by ``backend=None``/``"auto"`` calls.
+DEFAULT_BACKEND = "numpy" if _HAVE_SCIPY else "python"
+
+#: Below this node count the batch kernels stay pure Python even under the
+#: numpy backend: per-call scipy dispatch overhead exceeds the work saved on
+#: tiny graphs, and results are identical either way (the numpy paths that
+#: honour this threshold are exact-integer kernels).
+SMALL_GRAPH_NODES = 512
+
+#: Max ``sources x nodes`` cells per scipy batch call; larger batches are
+#: chunked so distance/predecessor matrices stay within a bounded footprint
+#: (16M cells ~ 128 MB of float64 + 64 MB of int32 predecessors).
+BATCH_CHUNK_CELLS = 16_000_000
 
 __all__ = [
     "CompiledGraph",
     "KernelCounters",
     "KERNEL_COUNTERS",
+    "DEFAULT_BACKEND",
     "default_link_weight",
+    "have_numpy_backend",
+    "resolve_backend",
     "dijkstra_indices",
     "multi_source_dijkstra_indices",
+    "multi_source_distances",
     "batch_shortest_lengths",
+    "batch_hop_lengths",
     "bfs_indices",
     "multi_source_bfs_indices",
     "components_indices",
 ]
+
+
+def have_numpy_backend() -> bool:
+    """True when the numpy/scipy batch backend is importable and not masked."""
+    return _HAVE_SCIPY
+
+
+def resolve_backend(backend: Optional[str] = None) -> str:
+    """Normalize a ``backend=`` argument to ``"python"`` or ``"numpy"``.
+
+    ``None``/``"auto"`` resolve to :data:`DEFAULT_BACKEND`.  Requesting
+    ``"numpy"`` when scipy is unavailable (or masked by
+    ``REPRO_BACKEND=python``) raises :class:`RuntimeError` rather than
+    silently falling back.
+    """
+    if backend is None or backend == "auto":
+        return DEFAULT_BACKEND
+    if backend == "python":
+        return "python"
+    if backend == "numpy":
+        if not _HAVE_SCIPY:
+            raise RuntimeError(
+                "numpy backend requested but numpy/scipy are unavailable "
+                "(or masked by REPRO_BACKEND=python)"
+            )
+        return "numpy"
+    raise ValueError(
+        f"unknown backend {backend!r}; expected 'auto', 'python', or 'numpy'"
+    )
 
 
 class KernelCounters:
@@ -81,6 +183,14 @@ class KernelCounters:
     per shortest-path search (E11 asserts exactly one per unique demand
     source), every routed pair as ``traffic_assigned_pairs``, and every
     ECMP flow division across tied shortest paths as ``traffic_ecmp_splits``.
+
+    Algorithm-count counters (``single_source``/``multi_source``/``bfs``/
+    ``components``) are **backend-independent**: a batch scipy call records
+    the same logical search count as the equivalent pure-Python loop.  The
+    batch path additionally records each ``scipy.sparse.csgraph`` dispatch as
+    ``batch_dijkstra_calls`` and the sources it covered as
+    ``batch_sources_total`` — the E12 scaling gates assert these are non-zero,
+    so a silent fallback to the slow path fails CI instead of passing slowly.
     """
 
     __slots__ = (
@@ -89,6 +199,8 @@ class KernelCounters:
         "bfs",
         "components",
         "compilations",
+        "batch_dijkstra_calls",
+        "batch_sources_total",
         "sampler_draws",
         "sampler_updates",
         "spatial_queries",
@@ -131,6 +243,18 @@ def default_link_weight(link: Link) -> float:
     return length if length > 0 else 1.0
 
 
+def _column_min(weights: Any) -> float:
+    """Minimum of a weight column (numpy-aware; 0.0 for an empty column)."""
+    if _HAVE_NUMPY and isinstance(weights, _np.ndarray):
+        return float(weights.min()) if len(weights) else 0.0
+    return min(weights) if len(weights) else 0.0
+
+
+def _column_values(weights: Any) -> List[float]:
+    """A weight column as a plain Python float list (for the Python kernels)."""
+    return weights.tolist() if hasattr(weights, "tolist") else list(weights)
+
+
 class CompiledGraph:
     """Immutable int-indexed CSR snapshot of a :class:`Topology`.
 
@@ -140,15 +264,23 @@ class CompiledGraph:
         num_edges: Number of undirected edges in the snapshot.
         ids: Node id per index (index → id), in node insertion order.
         index_of: Node index per id (id → index).
-        indptr: CSR row pointers, length ``num_nodes + 1``.
+        indptr: CSR row pointers, length ``num_nodes + 1`` (int32 numpy array
+            when numpy is available, else ``array('q')``).
         indices: Neighbor node index per half-edge, length ``2 * num_edges``.
             Neighbor order within a row matches adjacency insertion order, so
             BFS discovery order is identical to the object-graph traversal.
-        half_edge_ids: Undirected edge index per half-edge.
-        edge_u / edge_v: Endpoint node indices per undirected edge.
+        half_edge_ids: Undirected edge index per half-edge (int64).
+        edge_u / edge_v: Endpoint node indices per undirected edge (int32).
         links: The live :class:`Link` object per undirected edge (weight
             columns are derived from these on demand).
         edge_keys: Canonical ``(u, v)`` link key per undirected edge.
+
+    Per-snapshot caches (all invalidated for free when a structural mutation
+    bumps ``Topology.version`` and a fresh snapshot is compiled): adjacency
+    tuple rows for the Python kernels, named weight columns
+    (:meth:`edge_weight_column`), ``scipy.sparse.csr_matrix`` instances per
+    weight column (:meth:`scipy_csr`), and the sorted half-edge key table
+    behind :meth:`edge_ids_for_pairs`.
     """
 
     __slots__ = (
@@ -166,6 +298,9 @@ class CompiledGraph:
         "edge_keys",
         "_adjacency_rows",
         "_relaxation_cache",
+        "_weight_columns",
+        "_csr_cache",
+        "_edge_lookup",
     )
 
     def __init__(self, topology: Any) -> None:
@@ -180,22 +315,55 @@ class CompiledGraph:
         n = len(ids)
         m = len(links)
         adjacency = topology._adjacency  # same-package structural access
-        indptr = array("q", [0]) * (n + 1)
-        for i, nid in enumerate(ids):
-            indptr[i + 1] = indptr[i] + len(adjacency[nid])
-        indices = array("q", [0]) * (2 * m)
-        half_edge_ids = array("q", [0]) * (2 * m)
-        k = 0
-        for nid in ids:
-            for neighbor, link in adjacency[nid].items():
-                indices[k] = index_of[neighbor]
-                half_edge_ids[k] = edge_index[id(link)]
-                k += 1
-        edge_u = array("q", [0]) * m
-        edge_v = array("q", [0]) * m
-        for e, link in enumerate(links):
-            edge_u[e] = index_of[link.source]
-            edge_v[e] = index_of[link.target]
+        if _HAVE_NUMPY:
+            indptr = _np.zeros(n + 1, dtype=_np.int32)
+            _np.cumsum(
+                _np.fromiter(
+                    (len(adjacency[nid]) for nid in ids), dtype=_np.int32, count=n
+                ),
+                out=indptr[1:],
+            )
+            indices = _np.fromiter(
+                (
+                    index_of[neighbor]
+                    for nid in ids
+                    for neighbor in adjacency[nid]
+                ),
+                dtype=_np.int32,
+                count=2 * m,
+            )
+            half_edge_ids = _np.fromiter(
+                (
+                    edge_index[id(link)]
+                    for nid in ids
+                    for link in adjacency[nid].values()
+                ),
+                dtype=_np.int64,
+                count=2 * m,
+            )
+            edge_u = _np.fromiter(
+                (index_of[link.source] for link in links), dtype=_np.int32, count=m
+            )
+            edge_v = _np.fromiter(
+                (index_of[link.target] for link in links), dtype=_np.int32, count=m
+            )
+        else:
+            indptr = array("q", [0]) * (n + 1)
+            for i, nid in enumerate(ids):
+                indptr[i + 1] = indptr[i] + len(adjacency[nid])
+            indices = array("q", [0]) * (2 * m)
+            half_edge_ids = array("q", [0]) * (2 * m)
+            k = 0
+            for nid in ids:
+                for neighbor, link in adjacency[nid].items():
+                    indices[k] = index_of[neighbor]
+                    half_edge_ids[k] = edge_index[id(link)]
+                    k += 1
+            edge_u = array("q", [0]) * m
+            edge_v = array("q", [0]) * m
+            for e, link in enumerate(links):
+                edge_u[e] = index_of[link.source]
+                edge_v[e] = index_of[link.target]
 
         self.num_nodes = n
         self.num_edges = m
@@ -209,31 +377,56 @@ class CompiledGraph:
         self.links = links
         self.edge_keys = edge_keys
         self._adjacency_rows: Optional[List[List[Tuple[int, int]]]] = None
-        self._relaxation_cache: Optional[Tuple[array, List[List[Tuple[float, int, int]]]]] = None
+        self._relaxation_cache: Optional[Tuple[Any, List[List[Tuple[float, int, int]]]]] = None
+        self._weight_columns: Dict[str, Any] = {}
+        self._csr_cache: List[Tuple[Any, Any]] = []
+        self._edge_lookup: Optional[Tuple[Any, Any]] = None
 
     # ------------------------------------------------------------------
     # Derived columns
     # ------------------------------------------------------------------
     def degree(self, index: int) -> int:
         """Degree of the node at ``index``."""
-        return self.indptr[index + 1] - self.indptr[index]
+        return int(self.indptr[index + 1] - self.indptr[index])
 
-    def degrees(self) -> array:
-        """Degree per node index as an int array."""
+    def degrees(self) -> Any:
+        """Degree per node index as an int column (numpy array or ``array``)."""
+        if _HAVE_NUMPY:
+            return _np.diff(_np.asarray(self.indptr, dtype=_np.int64))
         out = array("q", [0]) * self.num_nodes
         indptr = self.indptr
         for i in range(self.num_nodes):
             out[i] = indptr[i + 1] - indptr[i]
         return out
 
-    def edge_weights(self, weight: Optional[Callable[[Link], float]] = None) -> array:
+    def edge_weights(self, weight: Optional[Callable[[Link], float]] = None) -> Any:
         """Per-edge weight column computed from the live :class:`Link` objects.
 
         ``None`` selects the library default (physical length, falling back to
         1.0 for zero-length links).  Raises :class:`ValueError` on a negative
-        weight, mirroring the object-graph Dijkstra.
+        weight, mirroring the object-graph Dijkstra.  Returns a float64 numpy
+        array when numpy is available, else ``array('d')`` — always freshly
+        computed, so annotation mutations are visible (see
+        :meth:`edge_weight_column` for the cached named columns).
         """
-        out = array("d", [0.0]) * self.num_edges
+        m = self.num_edges
+        if _HAVE_NUMPY:
+            if weight is None:
+                return _np.fromiter(
+                    (default_link_weight(link) for link in self.links),
+                    dtype=_np.float64,
+                    count=m,
+                )
+            out = _np.fromiter(
+                (weight(link) for link in self.links), dtype=_np.float64, count=m
+            )
+            if m and float(out.min()) < 0:
+                e = int(out.argmin())
+                raise ValueError(
+                    f"negative link weight {out[e]} on {self.links[e].key}"
+                )
+            return out
+        out = array("d", [0.0]) * m
         if weight is None:
             for e, link in enumerate(self.links):
                 out[e] = default_link_weight(link)
@@ -245,6 +438,41 @@ class CompiledGraph:
                 out[e] = w
         return out
 
+    #: Names whose weight columns derive from immutable link geometry and are
+    #: therefore safe to cache on the snapshot.  Annotation-dependent weights
+    #: (e.g. ``"inverse-capacity"``) must bypass the cache so provisioning
+    #: updates stay visible without a ``Topology.touch()``.
+    CACHEABLE_WEIGHT_NAMES = frozenset({"length", "hops"})
+
+    def edge_weight_column(
+        self, name: Optional[str], weight: Optional[Callable[[Link], float]] = None
+    ) -> Any:
+        """The weight column for a *named* weight, cached per snapshot.
+
+        ``name=None`` aliases ``"length"`` (the library default).  Columns in
+        :data:`CACHEABLE_WEIGHT_NAMES` are materialized once per snapshot and
+        shared by every caller — repeat routing/metric calls stop re-building
+        the same float64 column (and, transitively, the same
+        ``csr_matrix``, since :meth:`scipy_csr` caches by column identity).
+        Other names fall through to a fresh :meth:`edge_weights` computation.
+        """
+        key = "length" if name is None else name
+        if key not in self.CACHEABLE_WEIGHT_NAMES:
+            return self.edge_weights(weight)
+        column = self._weight_columns.get(key)
+        if column is None:
+            if key == "hops":
+                if _HAVE_NUMPY:
+                    column = _np.ones(self.num_edges, dtype=_np.float64)
+                else:
+                    column = array("d", [1.0]) * self.num_edges
+            else:
+                column = self.edge_weights(
+                    weight if name is not None else None
+                )
+            self._weight_columns[key] = column
+        return column
+
     def adjacency_rows(self) -> List[List[Tuple[int, int]]]:
         """Per-node ``(neighbor, edge)`` tuple rows, built once per snapshot.
 
@@ -254,55 +482,95 @@ class CompiledGraph:
         """
         rows = self._adjacency_rows
         if rows is None:
-            indptr = self.indptr
-            indices = self.indices
-            half_edge_ids = self.half_edge_ids
+            indptr = self.indptr.tolist()
+            indices = self.indices.tolist()
+            half_edge_ids = self.half_edge_ids.tolist()
             rows = [
-                [
-                    (indices[k], half_edge_ids[k])
-                    for k in range(indptr[i], indptr[i + 1])
-                ]
+                list(zip(indices[indptr[i] : indptr[i + 1]],
+                         half_edge_ids[indptr[i] : indptr[i + 1]]))
                 for i in range(self.num_nodes)
             ]
             self._adjacency_rows = rows
         return rows
 
     def relaxation_rows(
-        self, weights: array
+        self, weights: Any
     ) -> List[List[Tuple[float, int, int]]]:
         """Per-node ``(weight, neighbor, edge)`` rows for Dijkstra relaxation.
 
         Cached for the most recent ``weights`` object, so a batch of searches
-        sharing one weight column (e.g. all-pairs) builds the rows once.
+        sharing one weight column (e.g. all-pairs) builds the rows once.  The
+        column is flattened to plain Python floats first, so the heap kernels
+        compare native floats even when the column is a numpy array.
         """
         cached = self._relaxation_cache
         if cached is not None and cached[0] is weights:
             return cached[1]
+        values = _column_values(weights)
         rows = [
-            [(weights[e], v, e) for v, e in row] for row in self.adjacency_rows()
+            [(values[e], v, e) for v, e in row] for row in self.adjacency_rows()
         ]
         self._relaxation_cache = (weights, rows)
         return rows
 
-    def scipy_csr(self, weights: array):
+    def scipy_csr(self, weights: Any):
         """The snapshot as a ``scipy.sparse.csr_matrix`` (``None`` w/o scipy).
 
-        Built zero-copy from the CSR arrays via the buffer protocol; used by
-        the optional batch kernels.
+        Built zero-copy from the native numpy CSR buffers and cached per
+        weight-column object (a small FIFO keyed by column identity), so the
+        named columns from :meth:`edge_weight_column` get one matrix per
+        snapshot instead of one per call.
         """
         if not _HAVE_SCIPY:
             return None
+        for column, matrix in self._csr_cache:
+            if column is weights:
+                return matrix
         data = _np.asarray(weights, dtype=_np.float64)[
-            _np.asarray(self.half_edge_ids, dtype=_np.int64)
+            _np.asarray(self.half_edge_ids)
         ]
-        return _csr_matrix(
+        matrix = _csr_matrix(
             (
                 data,
-                _np.asarray(self.indices, dtype=_np.int64),
-                _np.asarray(self.indptr, dtype=_np.int64),
+                _np.asarray(self.indices),
+                _np.asarray(self.indptr),
             ),
             shape=(self.num_nodes, self.num_nodes),
         )
+        self._csr_cache.append((weights, matrix))
+        if len(self._csr_cache) > 4:  # bound transient (unnamed) columns
+            self._csr_cache.pop(0)
+        return matrix
+
+    def unit_csr(self):
+        """Cached unit-weight ``csr_matrix`` (structure-only batch kernels)."""
+        return self.scipy_csr(self.edge_weight_column("hops"))
+
+    def edge_ids_for_pairs(self, tails: Any, heads: Any) -> Any:
+        """Undirected edge id per ``(tails[i], heads[i])`` adjacent pair.
+
+        Vectorized half-edge lookup over a sorted ``(row, col)`` key table
+        built once per snapshot; used by the numpy traffic scatter to resolve
+        predecessor edges from a predecessor node array.  Requires numpy; all
+        pairs must be existing adjacencies.
+        """
+        lookup = self._edge_lookup
+        if lookup is None:
+            n = self.num_nodes
+            counts = _np.diff(_np.asarray(self.indptr, dtype=_np.int64))
+            rows = _np.repeat(_np.arange(n, dtype=_np.int64), counts)
+            keys = rows * n + _np.asarray(self.indices, dtype=_np.int64)
+            perm = _np.argsort(keys, kind="stable")
+            edge_of_key = _np.asarray(self.half_edge_ids)[perm]
+            lookup = (keys[perm], edge_of_key)
+            self._edge_lookup = lookup
+        sorted_keys, edge_of_key = lookup
+        targets = (
+            _np.asarray(tails, dtype=_np.int64) * self.num_nodes
+            + _np.asarray(heads, dtype=_np.int64)
+        )
+        positions = _np.searchsorted(sorted_keys, targets)
+        return edge_of_key[positions]
 
     def full_mask(self) -> bytearray:
         """A mask with every node active (for callers that then disable some)."""
@@ -321,15 +589,19 @@ class CompiledGraph:
 def dijkstra_indices(
     graph: CompiledGraph,
     source: int,
-    weights: array,
+    weights: Any,
     mask: Optional[bytearray] = None,
 ) -> Tuple[List[float], List[int], List[int]]:
-    """Single-source shortest paths over the compiled view.
+    """Single-source shortest paths over the compiled view (pure Python).
 
     Returns ``(dist, pred, pred_edge)`` lists indexed by node index:
     ``dist`` is ``inf`` for unreachable nodes, ``pred`` is the predecessor
     node index (-1 for the source and unreachable nodes), and ``pred_edge``
     is the undirected edge index used to reach each node (-1 likewise).
+
+    This is the canonical tie-breaking reference: under equal-distance ties
+    the predecessor recorded is the first relaxation that achieved the final
+    distance in heap-settle order.
     """
     KERNEL_COUNTERS.single_source += 1
     n = graph.num_nodes
@@ -378,7 +650,7 @@ def dijkstra_indices(
 def multi_source_dijkstra_indices(
     graph: CompiledGraph,
     sources: Sequence[int],
-    weights: array,
+    weights: Any,
     mask: Optional[bytearray] = None,
 ) -> Tuple[List[float], List[int], List[int], List[int]]:
     """Multi-source shortest paths: one search growing from all sources at once.
@@ -390,6 +662,11 @@ def multi_source_dijkstra_indices(
     ``sources``: every optimal predecessor of a node settles (and relaxes it)
     before the node itself is settled, so the equal-distance re-attribution
     below sees all competing origins.
+
+    Always pure Python: the origin/predecessor tie contract above is part of
+    the public API (customer→core attribution depends on it), and scipy's
+    ``min_only`` path does not honor it.  Distance-only consumers can use
+    :func:`multi_source_distances` for the batch path.
     """
     KERNEL_COUNTERS.multi_source += 1
     n = graph.num_nodes
@@ -440,17 +717,63 @@ def multi_source_dijkstra_indices(
     return dist, pred, pred_edge, origin
 
 
+def multi_source_distances(
+    graph: CompiledGraph,
+    sources: Sequence[int],
+    weights: Any,
+    mask: Optional[bytearray] = None,
+    backend: Optional[str] = None,
+) -> List[float]:
+    """Distance to the nearest source per node (``inf`` when unreachable).
+
+    The distance-only projection of :func:`multi_source_dijkstra_indices`:
+    distances are backend-identical (both backends take the float minimum over
+    the same relaxation sums), so the numpy path — one ``min_only``
+    ``csgraph.dijkstra`` over all sources — engages whenever scipy is
+    available, the graph is unmasked, and weights are strictly positive.
+    """
+    if (
+        resolve_backend(backend) == "numpy"
+        and mask is None
+        and graph.num_edges > 0
+        and len(sources) > 0
+        and _column_min(weights) > 0
+    ):
+        KERNEL_COUNTERS.multi_source += 1
+        KERNEL_COUNTERS.batch_dijkstra_calls += 1
+        KERNEL_COUNTERS.batch_sources_total += len(sources)
+        matrix = graph.scipy_csr(weights)
+        dist = _scipy_dijkstra(
+            matrix, directed=False, indices=list(sources), min_only=True
+        )
+        return dist.tolist()
+    dist, _, _, _ = multi_source_dijkstra_indices(graph, sources, weights, mask)
+    return dist
+
+
+def _batch_chunks(sources: Sequence[int], num_nodes: int) -> Iterable[List[int]]:
+    """Split a source batch so each scipy call stays within the cell budget."""
+    chunk = max(1, BATCH_CHUNK_CELLS // max(1, num_nodes))
+    source_list = list(sources)
+    for start in range(0, len(source_list), chunk):
+        yield source_list[start : start + chunk]
+
+
 def batch_shortest_lengths(
     graph: CompiledGraph,
     sources: Sequence[int],
-    weights: array,
+    weights: Any,
+    backend: Optional[str] = None,
 ) -> List[List[float]]:
     """Shortest-path lengths from many sources at once.
 
     Returns one row of per-node distances (``inf`` when unreachable) per
-    source, in ``sources`` order.  When scipy is available the whole batch is
-    a single vectorized ``csgraph.dijkstra`` call over the zero-copy CSR
-    matrix; otherwise it falls back to the pure-Python kernel per source.
+    source, in ``sources`` order.  Under the numpy backend the whole batch is
+    a bounded number of vectorized ``csgraph.dijkstra`` calls over the cached
+    CSR matrix (chunked to :data:`BATCH_CHUNK_CELLS`); otherwise it falls
+    back to the pure-Python kernel per source.  Distances are
+    backend-identical bit for bit: both paths accumulate ``dist + w`` along
+    the same shortest paths and take float minima over the same candidates.
     The invocation counters record one single-source search per source either
     way, so algorithm-count assertions stay backend-independent.
     """
@@ -459,18 +782,69 @@ def batch_shortest_lengths(
         return []
     # Scipy's csgraph is ambiguous about explicit zero-weight edges, so the
     # vectorized path only engages for strictly positive weight columns.
-    if _HAVE_SCIPY and graph.num_edges > 0 and min(weights) > 0:
+    if (
+        resolve_backend(backend) == "numpy"
+        and graph.num_edges > 0
+        and _column_min(weights) > 0
+    ):
         matrix = graph.scipy_csr(weights)
-        result = _scipy_dijkstra(
-            matrix, directed=False, indices=list(sources), return_predecessors=False
-        )
-        if result.ndim == 1:
-            return [result.tolist()]
-        return [row.tolist() for row in result]
-    rows: List[List[float]] = []
+        rows: List[List[float]] = []
+        for chunk in _batch_chunks(sources, graph.num_nodes):
+            KERNEL_COUNTERS.batch_dijkstra_calls += 1
+            KERNEL_COUNTERS.batch_sources_total += len(chunk)
+            result = _scipy_dijkstra(
+                matrix, directed=False, indices=chunk, return_predecessors=False
+            )
+            if result.ndim == 1:
+                rows.append(result.tolist())
+            else:
+                rows.extend(row.tolist() for row in result)
+        return rows
+    rows = []
     for source in sources:
         dist, _, _ = dijkstra_indices(graph, source, weights)
         KERNEL_COUNTERS.single_source -= 1  # already counted for the batch
+        rows.append(dist)
+    return rows
+
+
+def batch_hop_lengths(
+    graph: CompiledGraph,
+    sources: Sequence[int],
+    backend: Optional[str] = None,
+) -> List[List[int]]:
+    """BFS hop distances from many sources at once (-1 when unreachable).
+
+    The batch sibling of :func:`bfs_indices` for bulk hop metrics: one row of
+    integer hop counts per source, in ``sources`` order.  Hop counts are
+    exact integers under both backends, so results are backend-identical.
+    The numpy path runs unweighted ``csgraph.dijkstra`` over the cached unit
+    CSR matrix; graphs below :data:`SMALL_GRAPH_NODES` stay pure Python.
+    """
+    if not sources:
+        return []
+    if (
+        resolve_backend(backend) == "numpy"
+        and graph.num_edges > 0
+        and graph.num_nodes >= SMALL_GRAPH_NODES
+    ):
+        KERNEL_COUNTERS.bfs += len(sources)
+        matrix = graph.unit_csr()
+        rows: List[List[int]] = []
+        for chunk in _batch_chunks(sources, graph.num_nodes):
+            KERNEL_COUNTERS.batch_dijkstra_calls += 1
+            KERNEL_COUNTERS.batch_sources_total += len(chunk)
+            result = _scipy_dijkstra(
+                matrix, directed=False, indices=chunk, unweighted=True
+            )
+            if result.ndim == 1:
+                result = result[_np.newaxis, :]
+            hops = _np.where(_np.isinf(result), -1.0, result).astype(_np.int64)
+            rows.extend(row.tolist() for row in hops)
+        return rows
+    rows = []
+    for source in sources:
+        dist, _ = bfs_indices(graph, source)
         rows.append(dist)
     return rows
 
@@ -480,12 +854,14 @@ def bfs_indices(
     source: int,
     mask: Optional[bytearray] = None,
 ) -> Tuple[List[int], List[int]]:
-    """Breadth-first hop distances from one source.
+    """Breadth-first hop distances from one source (pure Python).
 
     Returns ``(dist, order)``: ``dist`` holds hop counts (-1 when
     unreachable) and ``order`` lists reached node indices in discovery order
     (matching the object-graph BFS, since CSR rows preserve adjacency
-    insertion order).
+    insertion order).  The discovery-order contract is why this kernel has no
+    numpy path — bulk consumers that only need distances use
+    :func:`batch_hop_lengths`.
     """
     KERNEL_COUNTERS.bfs += 1
     rows = graph.adjacency_rows()
@@ -518,13 +894,36 @@ def multi_source_bfs_indices(
     graph: CompiledGraph,
     sources: Iterable[int],
     mask: Optional[bytearray] = None,
+    backend: Optional[str] = None,
 ) -> List[int]:
-    """Hop distance to the nearest source per node (-1 when unreachable)."""
+    """Hop distance to the nearest source per node (-1 when unreachable).
+
+    Hop counts are exact small integers, so the numpy path — unweighted
+    ``min_only`` ``csgraph.dijkstra`` over the cached unit CSR matrix — is
+    backend-identical to the pure-Python frontier sweep.  It engages for
+    unmasked graphs of at least :data:`SMALL_GRAPH_NODES` nodes.
+    """
+    source_list = list(sources)
+    if (
+        resolve_backend(backend) == "numpy"
+        and mask is None
+        and graph.num_edges > 0
+        and graph.num_nodes >= SMALL_GRAPH_NODES
+        and source_list
+    ):
+        KERNEL_COUNTERS.bfs += 1
+        KERNEL_COUNTERS.batch_dijkstra_calls += 1
+        KERNEL_COUNTERS.batch_sources_total += len(source_list)
+        matrix = graph.unit_csr()
+        dist = _scipy_dijkstra(
+            matrix, directed=False, indices=source_list, min_only=True, unweighted=True
+        )
+        return _np.where(_np.isinf(dist), -1.0, dist).astype(_np.int64).tolist()
     KERNEL_COUNTERS.bfs += 1
     rows = graph.adjacency_rows()
     dist = [-1] * graph.num_nodes
     frontier: List[int] = []
-    for s in sources:
+    for s in source_list:
         if mask is not None and not mask[s]:
             continue
         if dist[s] == -1:
@@ -546,15 +945,31 @@ def multi_source_bfs_indices(
 def components_indices(
     graph: CompiledGraph,
     mask: Optional[bytearray] = None,
+    backend: Optional[str] = None,
 ) -> Tuple[List[int], int]:
     """Connected-component labels over active nodes.
 
     Returns ``(labels, count)``: ``labels[v]`` is a component id in
     ``0..count-1`` assigned in order of each component's first node index,
-    or -1 for masked-out nodes.
+    or -1 for masked-out nodes.  The numpy path relabels scipy's
+    ``connected_components`` output into that canonical first-node order, so
+    labels are backend-identical; it engages for unmasked graphs of at least
+    :data:`SMALL_GRAPH_NODES` nodes.
     """
     KERNEL_COUNTERS.components += 1
     n = graph.num_nodes
+    if (
+        resolve_backend(backend) == "numpy"
+        and mask is None
+        and graph.num_edges > 0
+        and n >= SMALL_GRAPH_NODES
+    ):
+        count, labels = _scipy_connected_components(graph.unit_csr(), directed=False)
+        # Canonicalize: component ids in order of each component's first node.
+        _, first = _np.unique(labels, return_index=True)
+        rank = _np.empty(count, dtype=_np.int64)
+        rank[_np.argsort(first, kind="stable")] = _np.arange(count)
+        return rank[labels].tolist(), int(count)
     rows = graph.adjacency_rows()
     labels = [-1] * n
     count = 0
