@@ -21,6 +21,13 @@ from .engine import (
     compile_demand,
     route_demand,
 )
+from .hierarchical import (
+    HierarchicalOverlay,
+    OverlayTooLarge,
+    build_overlay,
+    overlay_for,
+    route_demand_hierarchical,
+)
 from .assignment import (
     AssignmentResult,
     assign_demand,
@@ -45,6 +52,11 @@ __all__ = [
     "FlowResult",
     "compile_demand",
     "route_demand",
+    "HierarchicalOverlay",
+    "OverlayTooLarge",
+    "build_overlay",
+    "overlay_for",
+    "route_demand_hierarchical",
     "AssignmentResult",
     "assign_demand",
     "route_customer_demand_to_core",

@@ -292,6 +292,7 @@ def route_demand(
     weight: Optional[str] = None,
     mode: str = "single",
     backend: Optional[str] = None,
+    method: Optional[str] = None,
 ) -> FlowResult:
     """Route a compiled demand matrix; one shortest-path search per source.
 
@@ -307,6 +308,13 @@ def route_demand(
             ``csgraph`` searches + vectorized scatter; requires scipy and
             strictly positive weights), or ``None``/``"auto"``.  See the
             module docstring for the backend equivalence contract.
+        method: ``"flat"`` (one search per unique source — the engine in
+            this module), ``"hierarchical"`` (overlay table joins — see
+            :mod:`repro.routing.hierarchical`; single-path mode and strictly
+            positive weights only), or ``None``/``"auto"``, which picks
+            hierarchical for many-source single-path demand on large graphs
+            whose overlay mesh fits the budget, and flat otherwise.  See the
+            hierarchical module docstring for the flat-equivalence contract.
 
     Returns:
         A :class:`FlowResult` whose ``edge_loads`` column is aligned with
@@ -314,11 +322,41 @@ def route_demand(
     """
     if mode not in ("single", "ecmp"):
         raise ValueError(f"unknown routing mode {mode!r}")
+    if method not in (None, "auto", "flat", "hierarchical"):
+        raise ValueError(f"unknown routing method {method!r}")
     graph = demand.graph
     weights = graph.edge_weight_column(weight, resolve_weight(weight))
     positive = graph.num_edges == 0 or _column_min(weights) > 0
     if mode == "ecmp" and not positive:
         raise ValueError("ECMP routing requires strictly positive weights")
+    if method == "hierarchical":
+        from .hierarchical import route_demand_hierarchical
+
+        return route_demand_hierarchical(
+            demand, weight=weight, mode=mode, backend=backend
+        )
+    if (
+        method in (None, "auto")
+        and mode == "single"
+        and positive
+        and _auto_hierarchical(demand)
+    ):
+        from .hierarchical import (
+            AUTO_MESH_CELLS,
+            OverlayTooLarge,
+            route_demand_hierarchical,
+        )
+
+        try:
+            return route_demand_hierarchical(
+                demand,
+                weight=weight,
+                mode=mode,
+                backend=backend,
+                mesh_cap=AUTO_MESH_CELLS,
+            )
+        except OverlayTooLarge:
+            pass  # mesh over budget: flat batched routing wins this shape
     if resolve_backend(backend) == "numpy" and graph.num_edges > 0:
         if positive:
             return _route_demand_numpy(demand, weights, mode)
@@ -327,6 +365,24 @@ def route_demand(
                 "backend='numpy' routing requires strictly positive weights"
             )
     return _route_demand_python(demand, weights, mode)
+
+
+def _auto_hierarchical(demand: CompiledDemand) -> bool:
+    """Whether ``method="auto"`` should even consider the overlay path.
+
+    Hierarchical routing pays an overlay build; it wins when many unique
+    sources would each cost a full-graph search on a large graph.  Thresholds
+    live in :mod:`repro.routing.hierarchical` (imported lazily — the engine
+    is also the overlay's scatter substrate).
+    """
+    graph = demand.graph
+    if graph.num_edges == 0:
+        return False
+    from .hierarchical import AUTO_MIN_NODES, AUTO_MIN_UNIQUE_SOURCES
+
+    if graph.num_nodes < AUTO_MIN_NODES:
+        return False
+    return len(set(demand.sources)) >= AUTO_MIN_UNIQUE_SOURCES
 
 
 def _route_demand_python(

@@ -183,6 +183,12 @@ class KernelCounters:
     per shortest-path search (E11 asserts exactly one per unique demand
     source), every routed pair as ``traffic_assigned_pairs``, and every
     ECMP flow division across tied shortest paths as ``traffic_ecmp_splits``.
+    The hierarchical routing layer (:mod:`repro.routing.hierarchical`)
+    records each overlay construction as ``hier_overlay_builds``, every
+    restricted per-region sweep source as ``hier_region_sweeps``, and every
+    demand pair answered through the overlay tables as ``hier_table_joins``
+    — the E12 many-source gates assert the overlay actually answered the
+    matrix instead of falling back to per-source searches.
 
     Algorithm-count counters (``single_source``/``multi_source``/``bfs``/
     ``components``) are **backend-independent**: a batch scipy call records
@@ -210,6 +216,9 @@ class KernelCounters:
         "traffic_batched_sources",
         "traffic_assigned_pairs",
         "traffic_ecmp_splits",
+        "hier_overlay_builds",
+        "hier_region_sweeps",
+        "hier_table_joins",
     )
 
     def __init__(self) -> None:
@@ -271,6 +280,9 @@ class CompiledGraph:
             BFS discovery order is identical to the object-graph traversal.
         half_edge_ids: Undirected edge index per half-edge (int64).
         edge_u / edge_v: Endpoint node indices per undirected edge (int32).
+        nodes: The live :class:`~repro.topology.node.Node` object per node
+            index (role/annotation columns are derived from these on demand,
+            mirroring ``links``).
         links: The live :class:`Link` object per undirected edge (weight
             columns are derived from these on demand).
         edge_keys: Canonical ``(u, v)`` link key per undirected edge.
@@ -279,8 +291,11 @@ class CompiledGraph:
     bumps ``Topology.version`` and a fresh snapshot is compiled): adjacency
     tuple rows for the Python kernels, named weight columns
     (:meth:`edge_weight_column`), ``scipy.sparse.csr_matrix`` instances per
-    weight column (:meth:`scipy_csr`), and the sorted half-edge key table
-    behind :meth:`edge_ids_for_pairs`.
+    weight column (:meth:`scipy_csr`), the sorted half-edge key table
+    behind :meth:`edge_ids_for_pairs`, and the hierarchical routing overlays
+    (``_overlay_cache``, owned by :mod:`repro.routing.hierarchical` and keyed
+    by weight-column name — the "same contract as ``scipy_csr``" invalidation
+    the routing layer documents).
     """
 
     __slots__ = (
@@ -294,6 +309,7 @@ class CompiledGraph:
         "half_edge_ids",
         "edge_u",
         "edge_v",
+        "nodes",
         "links",
         "edge_keys",
         "_adjacency_rows",
@@ -301,6 +317,7 @@ class CompiledGraph:
         "_weight_columns",
         "_csr_cache",
         "_edge_lookup",
+        "_overlay_cache",
     )
 
     def __init__(self, topology: Any) -> None:
@@ -369,6 +386,7 @@ class CompiledGraph:
         self.num_edges = m
         self.ids = ids
         self.index_of = index_of
+        self.nodes = list(topology.nodes())
         self.indptr = indptr
         self.indices = indices
         self.half_edge_ids = half_edge_ids
@@ -381,6 +399,7 @@ class CompiledGraph:
         self._weight_columns: Dict[str, Any] = {}
         self._csr_cache: List[Tuple[Any, Any]] = []
         self._edge_lookup: Optional[Tuple[Any, Any]] = None
+        self._overlay_cache: Dict[Any, Any] = {}
 
     # ------------------------------------------------------------------
     # Derived columns

@@ -4,19 +4,29 @@ Section 2.2 of the paper describes the decomposition of an ISP network into
 backbone (WAN), distribution (MAN), and customer (LAN) levels.  This module
 provides helpers to inspect and summarize that hierarchy on an annotated
 :class:`~repro.topology.graph.Topology`.
+
+All aggregate helpers run against the compiled view: level classification is
+a single pass over the compiled endpoint arrays, and nearest-core depths come
+from **one** multi-source BFS (:func:`~repro.topology.compiled.
+multi_source_bfs_indices`) instead of one BFS per core node — the same
+O(V + E) kernels the hierarchical routing overlay
+(:mod:`repro.routing.hierarchical`) partitions with.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Tuple
+from typing import Any, Dict, List, Sequence, Tuple
 
+from .compiled import CompiledGraph, multi_source_bfs_indices
 from .graph import Topology
 from .node import NodeRole, ROLE_RANK
 
-
 #: Human-readable level names, ordered from the core outwards.
 LEVEL_NAMES: Tuple[str, ...] = ("core", "backbone", "distribution", "access", "customer")
+
+#: Rank per level name: position in :data:`LEVEL_NAMES` (0 = innermost).
+LEVEL_RANKS: Dict[str, int] = {name: rank for rank, name in enumerate(LEVEL_NAMES)}
 
 _ROLE_TO_LEVEL: Dict[NodeRole, str] = {
     NodeRole.CORE: "core",
@@ -28,10 +38,23 @@ _ROLE_TO_LEVEL: Dict[NodeRole, str] = {
     NodeRole.GENERIC: "customer",
 }
 
+_ROLE_TO_RANK: Dict[NodeRole, int] = {
+    role: LEVEL_RANKS[level] for role, level in _ROLE_TO_LEVEL.items()
+}
+
 
 def level_of(role: NodeRole) -> str:
     """Map a node role to its hierarchy level name."""
     return _ROLE_TO_LEVEL[role]
+
+
+def compiled_level_ranks(graph: CompiledGraph) -> List[int]:
+    """Hierarchy level rank per compiled node index (0 = core ... 4 = customer).
+
+    One pass over the snapshot's node objects; the rank column is what the
+    hierarchical routing partition and the summary helpers classify against.
+    """
+    return [_ROLE_TO_RANK[node.role] for node in graph.nodes]
 
 
 @dataclass
@@ -62,26 +85,47 @@ class HierarchySummary:
 
 
 def summarize_hierarchy(topology: Topology) -> HierarchySummary:
-    """Compute a :class:`HierarchySummary` for a topology."""
+    """Compute a :class:`HierarchySummary` for a topology.
+
+    Link classification is a single pass over the compiled endpoint arrays
+    (``edge_u``/``edge_v`` against the per-index rank column) instead of two
+    object-graph node lookups per link, and the customer-depth aggregate is
+    one multi-source BFS — the summary stays cheap at the scale-tier sizes
+    the E12 report records it for.
+    """
+    if topology.num_nodes == 0:
+        return HierarchySummary()
+    graph = topology.compiled()
+    ranks = compiled_level_ranks(graph)
+
     level_counts: Dict[str, int] = {}
-    for node in topology.nodes():
-        level = level_of(node.role)
+    for rank in ranks:
+        level = LEVEL_NAMES[rank]
         level_counts[level] = level_counts.get(level, 0) + 1
+
+    # Canonical (lexicographically ordered) level-pair key per rank pair.
+    pair_key: Dict[Tuple[int, int], Tuple[str, str]] = {}
+    for ru in range(len(LEVEL_NAMES)):
+        for rv in range(len(LEVEL_NAMES)):
+            lu, lv = LEVEL_NAMES[ru], LEVEL_NAMES[rv]
+            pair_key[(ru, rv)] = (lu, lv) if lu <= lv else (lv, lu)
 
     intra = 0
     inter = 0
     matrix: Dict[Tuple[str, str], int] = {}
-    for link in topology.links():
-        lu = level_of(topology.node(link.source).role)
-        lv = level_of(topology.node(link.target).role)
-        key = (lu, lv) if lu <= lv else (lv, lu)
+    edge_u = graph.edge_u.tolist()
+    edge_v = graph.edge_v.tolist()
+    for u, v in zip(edge_u, edge_v):
+        ru = ranks[u]
+        rv = ranks[v]
+        key = pair_key[(ru, rv)]
         matrix[key] = matrix.get(key, 0) + 1
-        if lu == lv:
+        if ru == rv:
             intra += 1
         else:
             inter += 1
 
-    total_nodes = topology.num_nodes
+    total_nodes = graph.num_nodes
     backbone_nodes = level_counts.get("core", 0) + level_counts.get("backbone", 0)
     backbone_fraction = backbone_nodes / total_nodes if total_nodes else 0.0
 
@@ -96,29 +140,39 @@ def summarize_hierarchy(topology: Topology) -> HierarchySummary:
 
 
 def _mean_customer_depth(topology: Topology) -> float:
-    """Mean BFS hop distance from each customer to its nearest core node."""
-    cores = [n.node_id for n in topology.nodes() if n.role == NodeRole.CORE]
-    customers = [n.node_id for n in topology.nodes() if n.role == NodeRole.CUSTOMER]
+    """Mean BFS hop distance from each customer to its nearest core node.
+
+    One multi-source BFS over the compiled graph; bit-identical to the
+    per-core minimum (the nearest-source hop distance *is* that minimum) at
+    O(V + E) total instead of O(cores x (V + E)).
+    """
+    graph = topology.compiled()
+    cores = [i for i, node in enumerate(graph.nodes) if node.role == NodeRole.CORE]
+    customers = [
+        i for i, node in enumerate(graph.nodes) if node.role == NodeRole.CUSTOMER
+    ]
     if not cores or not customers:
         return float("nan")
-    best: Dict[Any, int] = {}
-    for core in cores:
-        for node_id, dist in topology.hop_distances(core).items():
-            if node_id not in best or dist < best[node_id]:
-                best[node_id] = dist
-    depths = [best[c] for c in customers if c in best]
+    dist = multi_source_bfs_indices(graph, cores)
+    depths = [dist[c] for c in customers if dist[c] != -1]
     if not depths:
         return float("nan")
     return sum(depths) / len(depths)
 
 
-def assign_levels_by_distance(topology: Topology, core_nodes: List[Any]) -> Dict[Any, str]:
+def assign_levels_by_distance(
+    topology: Topology, core_nodes: Sequence[Any]
+) -> Dict[Any, str]:
     """Assign hierarchy levels from BFS distance to the nearest core node.
 
     This is useful for topologies produced by generators that do not annotate
     roles (e.g. the descriptive baselines): nodes at distance 0 are ``core``,
     distance 1 ``backbone``, distance 2 ``distribution``, distance 3
     ``access``, and everything further is ``customer``.
+
+    Implemented as one multi-source BFS over the compiled graph (the
+    nearest-core distance per node) rather than one BFS per core —
+    assignments are bit-identical to the per-core minimum.
 
     Returns:
         Mapping from node identifier to level name; unreachable nodes map to
@@ -127,18 +181,19 @@ def assign_levels_by_distance(topology: Topology, core_nodes: List[Any]) -> Dict
     for core in core_nodes:
         if not topology.has_node(core):
             raise ValueError(f"core node {core!r} is not in the topology")
-    best: Dict[Any, int] = {}
-    for core in core_nodes:
-        for node_id, dist in topology.hop_distances(core).items():
-            if node_id not in best or dist < best[node_id]:
-                best[node_id] = dist
+    if topology.num_nodes == 0:
+        return {}
+    graph = topology.compiled()
+    index_of = graph.index_of
+    dist = multi_source_bfs_indices(graph, [index_of[core] for core in core_nodes])
+    deepest = len(LEVEL_NAMES) - 1
     assignment: Dict[Any, str] = {}
-    for node_id in topology.node_ids():
-        dist = best.get(node_id)
-        if dist is None:
+    for i, node_id in enumerate(graph.ids):
+        d = dist[i]
+        if d == -1:
             assignment[node_id] = "customer"
         else:
-            assignment[node_id] = LEVEL_NAMES[min(dist, len(LEVEL_NAMES) - 1)]
+            assignment[node_id] = LEVEL_NAMES[min(d, deepest)]
     return assignment
 
 
