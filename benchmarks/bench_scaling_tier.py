@@ -210,9 +210,7 @@ def time_scale_phases(sizes, num_endpoints: int, total_volume: float, seed: int)
         t_route, flow = timed(lambda c=compiled: route_demand(c, backend="numpy"))
         counters = KERNEL_COUNTERS.snapshot()
         t_provision, _report = timed(
-            lambda t=topology, f=flow: provision_topology(
-                t, default_catalog(), loads=f.edge_loads
-            )
+            lambda t=topology, f=flow: provision_topology(t, default_catalog(), flow=f)
         )
         assert counters["batch_dijkstra_calls"] >= 1
         assert not flow.unrouted

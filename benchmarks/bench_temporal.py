@@ -1,0 +1,263 @@
+"""E13 — temporal diff routing vs from-scratch per-step routing.
+
+The temporal engine (``repro.routing.temporal``) claims that routing a
+demand series step by step only pays for the sources whose offered volume
+actually changed: ``compile_series`` orients the union of every step's
+pairs once, and ``route_series(reuse=True)`` keeps per-source load columns
+alive across steps so an unchanged source costs nothing.  This benchmark:
+
+1. runs the E13 temporal suite (diurnal conservation, flash-crowd diff
+   bit-identity, and cascade fixed-point gates; records land in
+   ``RESULTS/E13/``);
+2. times a flash-crowd series two ways on the same geometric instance —
+   n=2000 nodes full, n=400 smoke, with a sparse integer-volume demand
+   matrix — per-step from-scratch :func:`route_demand` against one
+   :func:`compile_series` + :func:`route_series` pass, and gates the
+   speedup (>=5x full, >=2x smoke) with **bit-identical** per-step load
+   vectors: Euclidean lengths make shortest paths unique and integral
+   volumes make per-edge sums exact in any accumulation order, so the
+   SHA-256 load digests must agree step for step;
+3. proves the diff engine engaged from ``KERNEL_COUNTERS`` — the temporal
+   pass must resolve strictly fewer source searches than the
+   ``steps x unique_sources`` a from-scratch loop pays — so the speedup
+   cannot come from anything but the diff;
+4. when scipy is available, repeats the series through the numpy backend
+   and asserts the per-step digests match the pure-Python reference
+   exactly (bit-identical here: integral volumes on tie-free weights).
+
+Writes ``BENCH_E13.json`` and a text table under ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+import sys
+from array import array
+
+from repro.experiments.reporting import (
+    emit_rows,
+    experiment_bench_payload,
+    print_experiment,
+    timed,
+    write_bench_json,
+)
+from repro.experiments.runner import run_experiment
+from repro.geography.demand import DemandMatrix
+from repro.routing.engine import route_demand
+from repro.routing.temporal import compile_series, flash_crowd, route_series
+from repro.topology.compiled import KERNEL_COUNTERS, have_numpy_backend
+from repro.topology.graph import Topology
+
+NUM_NODES = 2000
+SMOKE_NUM_NODES = 400
+NUM_PAIRS = 300
+SMOKE_NUM_PAIRS = 80
+NUM_STEPS = 16
+SMOKE_NUM_STEPS = 10
+SEED = 73
+SPEEDUP_FLOOR = 5.0
+SMOKE_SPEEDUP_FLOOR = 2.0
+FLASH_HOTSPOTS = 3
+FLASH_SPIKE = 6.0
+FLASH_DURATION = 3
+
+
+def build_instance(num_nodes: int, num_pairs: int, seed: int):
+    """A geometric connected topology plus a sparse integer-volume matrix.
+
+    Random tree + chords with Euclidean lengths; demand is ``num_pairs``
+    distinct random pairs (the scatter pattern that makes per-step
+    re-routing expensive: many unique sources, few pairs each).  Sparse
+    pairs keep each flash-crowd hotspot's blast radius small, so the diff
+    engine has unchanged sources to skip; integral volumes make load sums
+    exact in any accumulation order.
+    """
+    rng = random.Random(seed)
+    topology = Topology(name=f"temporal-{num_nodes}")
+    for i in range(num_nodes):
+        topology.add_node(i, location=(rng.random(), rng.random()))
+    for i in range(1, num_nodes):
+        topology.add_link(i, rng.randrange(i))
+    added = 0
+    while added < num_nodes // 2:
+        u, v = rng.randrange(num_nodes), rng.randrange(num_nodes)
+        if u != v and not topology.has_link(u, v):
+            topology.add_link(u, v)
+            added += 1
+
+    endpoints = [str(i) for i in range(num_nodes)]
+    chosen = set()
+    while len(chosen) < num_pairs:
+        u, v = rng.randrange(num_nodes), rng.randrange(num_nodes)
+        if u != v:
+            chosen.add((min(u, v), max(u, v)))
+    sources, targets, volumes = [], [], []
+    for u, v in sorted(chosen):
+        sources.append(u)
+        targets.append(v)
+        volumes.append(float(rng.randint(1, 16)))
+    demand = DemandMatrix.from_arrays(endpoints, sources, targets, volumes)
+    endpoint_map = {str(i): i for i in range(num_nodes)}
+    return topology, demand, endpoint_map
+
+
+def _digest(loads) -> str:
+    return hashlib.sha256(array("d", loads).tobytes()).hexdigest()
+
+
+def time_methods(num_nodes: int, num_pairs: int, num_steps: int, seed: int):
+    """Time from-scratch per-step routing vs the diff engine.
+
+    Both sides run the same backend (auto) over tie-free Euclidean
+    weights; per-step SHA-256 load digests must agree exactly.
+    """
+    topology, base, endpoint_map = build_instance(num_nodes, num_pairs, seed)
+    series = flash_crowd(
+        base,
+        num_steps=num_steps,
+        num_hotspots=FLASH_HOTSPOTS,
+        spike=FLASH_SPIKE,
+        duration=FLASH_DURATION,
+        seed=seed + 1,
+    )
+    topology.compiled()  # compile outside both measured windows
+
+    def scratch():
+        return [
+            route_demand(topology, step, endpoint_map=endpoint_map)
+            for step in series.steps
+        ]
+
+    t_scratch, scratch_flows = timed(scratch)
+    scratch_digests = [_digest(flow.loads_list()) for flow in scratch_flows]
+
+    KERNEL_COUNTERS.reset()
+    t_temporal, result = timed(
+        lambda: route_series(
+            topology, series, endpoint_map=endpoint_map, reuse=True
+        )
+    )
+    counters = KERNEL_COUNTERS.snapshot()
+
+    step_digests = result.step_hashes()
+    assert step_digests == scratch_digests, (
+        "temporal per-step load vectors diverged from the from-scratch "
+        "reference (integral volumes on tie-free weights: must be exact)"
+    )
+    compiled = compile_series(topology, series, endpoint_map)
+    unique_sources = compiled.unique_sources
+    full_resolutions = num_steps * unique_sources
+    assert counters["temporal_steps"] == num_steps
+    assert counters["temporal_resolved_sources"] == result.resolved_sources_total
+    assert result.resolved_sources_total < full_resolutions, (
+        "diff engine did not engage: temporal pass resolved "
+        f"{result.resolved_sources_total} sources, the from-scratch cost is "
+        f"{full_resolutions}"
+    )
+    assert all(not step.unrouted for step in result.steps)
+    return {
+        "nodes": num_nodes,
+        "links": topology.num_links,
+        "pairs": compiled.num_pairs,
+        "steps": num_steps,
+        "unique_sources": unique_sources,
+        "resolved_sources": result.resolved_sources_total,
+        "full_resolutions": full_resolutions,
+        "scratch_seconds": t_scratch,
+        "temporal_seconds": t_temporal,
+        "speedup": t_scratch / t_temporal,
+        "bit_identical_steps": True,
+    }
+
+
+def check_backend_parity(num_nodes: int, num_pairs: int, num_steps: int, seed: int):
+    """numpy temporal routing must match the python reference digest-for-digest.
+
+    Integral volumes on tie-free Euclidean weights mean the per-step load
+    vectors are in fact bit-identical, so the digests are compared exactly.
+    Skipped (recorded, not silent) when scipy is absent — CI installs
+    scipy, so the bench matrix always exercises the batch path.
+    """
+    if not have_numpy_backend():
+        return {"available": False}
+    topology, base, endpoint_map = build_instance(num_nodes, num_pairs, seed + 2)
+    series = flash_crowd(base, num_steps=num_steps, seed=seed + 3)
+    compiled = compile_series(topology, series, endpoint_map)
+    reference = route_series(compiled, backend="python")
+    batched = route_series(compiled, backend="numpy")
+    identical = reference.step_hashes() == batched.step_hashes()
+    assert identical, "numpy temporal load digests diverged from python"
+    return {"available": True, "bit_identical_steps": identical}
+
+
+def run_benchmark(smoke: bool = False):
+    num_nodes = SMOKE_NUM_NODES if smoke else NUM_NODES
+    num_pairs = SMOKE_NUM_PAIRS if smoke else NUM_PAIRS
+    num_steps = SMOKE_NUM_STEPS if smoke else NUM_STEPS
+    timing = time_methods(num_nodes, num_pairs, num_steps, SEED)
+    results = {
+        "mode": "smoke" if smoke else "full",
+        "timing": timing,
+        "backend_parity": check_backend_parity(
+            SMOKE_NUM_NODES, SMOKE_NUM_PAIRS, SMOKE_NUM_STEPS, SEED
+        ),
+    }
+    rows = [
+        {
+            "series": (
+                f"flash crowd (n={num_nodes}, {timing['steps']} steps, "
+                f"{timing['pairs']} pairs)"
+            ),
+            "scratch_s": round(timing["scratch_seconds"], 3),
+            "temporal_s": round(timing["temporal_seconds"], 3),
+            "speedup": round(timing["speedup"], 1),
+            "resolved": timing["resolved_sources"],
+            "full_cost": timing["full_resolutions"],
+            "bit_identical": timing["bit_identical_steps"],
+        }
+    ]
+    return results, rows
+
+
+def check_acceptance(results, smoke: bool = False):
+    floor = SMOKE_SPEEDUP_FLOOR if smoke else SPEEDUP_FLOOR
+    timing = results["timing"]
+    assert timing["speedup"] >= floor, (
+        f"temporal diff routing speedup {timing['speedup']:.1f}x "
+        f"under the {floor}x floor"
+    )
+    assert timing["bit_identical_steps"]
+    assert timing["resolved_sources"] < timing["full_resolutions"]
+    parity = results["backend_parity"]
+    if parity["available"]:
+        assert parity["bit_identical_steps"]
+
+
+def main(smoke: bool = False, jobs: int = 1, force: bool = False):
+    suite_result = run_experiment("E13", smoke=smoke, jobs=jobs, force=force)
+    print_experiment(suite_result)
+    results, rows = run_benchmark(smoke=smoke)
+    check_acceptance(results, smoke=smoke)
+    results["experiment"] = experiment_bench_payload(suite_result)
+    path = write_bench_json("E13", results)
+    emit_rows(
+        "E13",
+        "temporal diff vs from-scratch series routing",
+        rows,
+        slug="temporal",
+    )
+    print(f"\nwrote {path}")
+
+
+def test_temporal_engine():
+    """Bit-identity, diff-engagement, and relaxed speedup gates at CI size."""
+    main(smoke=True)
+
+
+if __name__ == "__main__":
+    argv = sys.argv[1:]
+    jobs = 1
+    if "--jobs" in argv:
+        jobs = int(argv[argv.index("--jobs") + 1])
+    main(smoke="--smoke" in argv, jobs=jobs, force="--force" in argv)

@@ -98,7 +98,7 @@ def build_parser() -> argparse.ArgumentParser:
     render.add_argument("--ccdf", action="store_true", help="render the degree CCDF instead of the layout")
     render.add_argument("--linear-x", action="store_true", help="linear (not log) degree axis for the CCDF")
 
-    subparsers.add_parser("scenarios", help="list the paper's experiments (E1–E8)")
+    subparsers.add_parser("scenarios", help="list the paper's experiments (E1–E13)")
 
     run = subparsers.add_parser(
         "run",
@@ -114,7 +114,7 @@ def build_parser() -> argparse.ArgumentParser:
         "experiments",
         nargs="*",
         metavar="EXPERIMENT",
-        help="experiment ids (E1..E12) or 'all' (required unless --list)",
+        help="experiment ids (E1..E13) or 'all' (required unless --list)",
     )
     run.add_argument("--jobs", type=int, default=1, help="worker processes (default 1)")
     run.add_argument(

@@ -440,9 +440,8 @@ class ISPGenerator:
         ]
 
         backbone = topology.subgraph(backbone_nodes, name="backbone-view")
-        compiled = demand.compile(backbone, endpoint_map=core_ids)
-        flow = route_demand(compiled)
-        loads = dict(zip(compiled.graph.edge_keys, flow.edge_loads))
+        flow = route_demand(backbone, demand, endpoint_map=core_ids)
+        loads = dict(zip(flow.graph.edge_keys, flow.edge_loads))
         for link in backbone_links:
             link.load = loads.get(link.key, 0.0)
 

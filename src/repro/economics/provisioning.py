@@ -11,8 +11,9 @@ the paper calls a topology.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence
+from typing import Any, Dict, Optional, Sequence
 
+from ..routing.utilization import _resolve_flow_loads
 from ..topology.graph import Topology
 from .cables import CableCatalog
 
@@ -45,6 +46,8 @@ def provision_topology(
     catalog: CableCatalog,
     utilization_target: float = 1.0,
     headroom: float = 0.0,
+    flow: Any = None,
+    *,
     loads: Optional[Sequence[float]] = None,
 ) -> ProvisioningReport:
     """Install cables on every loaded link of ``topology`` in place.
@@ -60,12 +63,16 @@ def provision_topology(
         utilization_target: Maximum allowed utilization of installed capacity
             (values below 1 force spare capacity).
         headroom: Additional fractional headroom on top of the current load.
-        loads: Optional per-edge load column aligned with
-            ``topology.compiled()`` (e.g. a
-            :class:`~repro.routing.engine.FlowResult` ``edge_loads`` column).
-            When given, each link is provisioned for — and annotated with —
-            the column's load in the same pass, so the array pipeline flushes
-            loads and installs cables in one sweep over the edge column.
+        flow: Optional routing result (e.g. a
+            :class:`~repro.routing.engine.FlowResult`) whose edge-load column
+            drives provisioning: each link is provisioned for — and annotated
+            with — the column's load in the same pass, so the array pipeline
+            flushes loads and installs cables in one sweep.  The result is
+            validated against the topology's current compiled snapshot; a
+            stale one raises :class:`~repro.topology.graph.TopologyError`.
+        loads: Deprecated — a bare per-edge load column aligned with
+            ``topology.compiled()``; pass the routing result as ``flow``
+            instead.
 
     Returns:
         A :class:`ProvisioningReport` with aggregate statistics.
@@ -75,6 +82,7 @@ def provision_topology(
     if headroom < 0:
         raise ValueError("headroom must be non-negative")
 
+    loads = _resolve_flow_loads(topology, flow, loads, "provision_topology")
     if loads is None:
         links = list(topology.links())
     else:

@@ -1,4 +1,4 @@
-"""Built-in experiment suites (E1–E12).
+"""Built-in experiment suites (E1–E13).
 
 Importing this package registers every suite with the engine registry;
 worker processes do the same via
@@ -18,6 +18,7 @@ from . import (  # noqa: F401  (import side effect registers the suites)
     e10_local_search,
     e11_traffic,
     e12_scaling_tier,
+    e13_temporal,
 )
 
 __all__ = [
@@ -33,4 +34,5 @@ __all__ = [
     "e10_local_search",
     "e11_traffic",
     "e12_scaling_tier",
+    "e13_temporal",
 ]

@@ -44,6 +44,7 @@ from ...geography.demand import DemandMatrix, gravity_demand, uniform_demand
 from ...geography.population import City
 from ...optimization.mst import prim_mst_points
 from ...routing.engine import route_demand
+from ...routing.options import RoutingOptions
 from ...routing.utilization import load_concentration, utilization_report
 from ...topology.compiled import KERNEL_COUNTERS
 from ...topology.graph import Topology
@@ -138,12 +139,15 @@ def run_point(point: Mapping[str, object], seed: int) -> Dict[str, object]:
     # Payloads therefore stay byte-identical across environments; the numpy
     # batch path is gated separately by E12 and benchmarks/bench_traffic.py.
     flow = route_demand(
-        compiled, weight=ROUTE_WEIGHT, mode=str(point["mode"]), backend="python"
+        compiled,
+        options=RoutingOptions(
+            weight=ROUTE_WEIGHT, mode=str(point["mode"]), backend="python"
+        ),
     )
     after = KERNEL_COUNTERS.snapshot()
 
-    report = provision_topology(topology, default_catalog(), loads=flow.edge_loads)
-    utilization = utilization_report(topology, loads=flow.edge_loads)
+    report = provision_topology(topology, default_catalog(), flow=flow)
+    utilization = utilization_report(topology, flow)
     revenue = RevenueModel().revenue_for_demands(compiled.volumes)
     return {
         "model": point["model"],
@@ -156,9 +160,7 @@ def run_point(point: Mapping[str, object], seed: int) -> Dict[str, object]:
         "routed_volume": round(flow.routed_volume, 6),
         "unrouted_pairs": len(flow.unrouted),
         "total_load": round(sum(flow.edge_loads), 6),
-        "top_decile_share": round(
-            load_concentration(topology, 0.1, loads=flow.edge_loads), 4
-        ),
+        "top_decile_share": round(load_concentration(topology, 0.1, flow), 4),
         "mean_utilization": round(utilization.mean_utilization, 4),
         "peak_utilization": round(utilization.peak_utilization, 4),
         "overloaded_links": len(utilization.overloaded_links),

@@ -62,6 +62,7 @@ from ...geography.demand import gravity_demand
 from ...geography.population import City
 from ...routing.engine import route_demand
 from ...routing.hierarchical import overlay_for
+from ...routing.options import RoutingOptions
 from ...routing.paths import resolve_weight
 from ...routing.utilization import utilization_report
 from ...topology.compiled import KERNEL_COUNTERS, have_numpy_backend
@@ -151,7 +152,9 @@ def run_point(point: Mapping[str, object], seed: int) -> Dict[str, object]:
     backend = "numpy" if have_numpy_backend() else "python"
     method = "hierarchical" if routing == "hierarchical" else "flat"
     before = KERNEL_COUNTERS.snapshot()
-    flow = route_demand(compiled, backend=backend, method=method)
+    flow = route_demand(
+        compiled, options=RoutingOptions(method=method, backend=backend)
+    )
     after = KERNEL_COUNTERS.snapshot()
 
     # The equivalence gate: the hierarchical row *always* re-routes flat and
@@ -172,8 +175,8 @@ def run_point(point: Mapping[str, object], seed: int) -> Dict[str, object]:
             (abs(a - b) for a, b in zip(loads, reference_loads)), default=0.0
         )
 
-    report = provision_topology(topology, default_catalog(), loads=flow.edge_loads)
-    utilization = utilization_report(topology, loads=flow.edge_loads)
+    report = provision_topology(topology, default_catalog(), flow=flow)
+    utilization = utilization_report(topology, flow)
     summary = summarize_hierarchy(topology)
     depth = summary.mean_customer_depth
     payload = {

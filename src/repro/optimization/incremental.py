@@ -56,7 +56,7 @@ The E10 benchmark gate asserts delta evaluations dominate.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..topology.compiled import KERNEL_COUNTERS, components_indices
 from ..topology.graph import Topology, TopologyError
@@ -67,6 +67,7 @@ __all__ = [
     "Move",
     "AddLink",
     "RemoveLink",
+    "RemoveLinks",
     "AddNode",
     "UpgradeCable",
     "Rewire",
@@ -136,7 +137,30 @@ class RemoveLink(Move):
 
     def _apply(self, state: "IncrementalState") -> "_UndoRecord":
         record = state._snapshot(self)
-        state._remove_link_inner(record, self.u, self.v)
+        state._remove_links_inner(record, ((self.u, self.v),))
+        return record
+
+
+@dataclass(frozen=True)
+class RemoveLinks(Move):
+    """Tear out a batch of links as **one** move with one reachability rebuild.
+
+    Link removal is the one move whose undo bookkeeping is super-constant: a
+    union-find cannot split, so every removal pays a full O(V+E) reachability
+    rebuild plus an O(V) snapshot.  Failure cascades
+    (:func:`repro.routing.temporal.failure_cascade`) trip many links per
+    round; batching them shares a single rebuild/snapshot across the whole
+    round instead of paying it per link.  Removal order follows ``links``
+    order, one :meth:`IncrementalState.revert` restores the entire batch, and
+    a missing or duplicated key raises
+    :class:`~repro.topology.graph.TopologyError` before anything mutates.
+    """
+
+    links: Tuple[Tuple[Any, Any], ...]
+
+    def _apply(self, state: "IncrementalState") -> "_UndoRecord":
+        record = state._snapshot(self)
+        state._remove_links_inner(record, self.links)
         return record
 
 
@@ -258,7 +282,7 @@ class Rewire(Move):
             new_length = ((loc_a[0] - loc_b[0]) ** 2 + (loc_a[1] - loc_b[1]) ** 2) ** 0.5
         scale = (new_length / old_length) if old_length > 0 else 1.0
         try:
-            state._remove_link_inner(record, self.node, self.old_neighbor)
+            state._remove_links_inner(record, ((self.node, self.old_neighbor),))
             state._add_link_inner(
                 record,
                 self.node,
@@ -670,24 +694,52 @@ class IncrementalState:
             token = reach.union(ra, rb)
             record.structure_undo.append(lambda: reach.undo_union(token))
 
-    def _remove_link_inner(self, record: _UndoRecord, u: Any, v: Any) -> None:
+    def _remove_links_inner(
+        self, record: _UndoRecord, pairs: Sequence[Tuple[Any, Any]]
+    ) -> None:
         topology = self.topology
-        link = topology.link(u, v)
-        topology.remove_link(u, v)
-        # Re-insert the *original* Link object on revert: earlier undo records
-        # (e.g. an UpgradeCable restore) hold references to it, so replacing
-        # it with a copy would leave them mutating a dead object.
-        record.structure_undo.append(lambda: topology.add_link_object(link))
-        key = link.key
-        old_contrib = self._link_contrib.pop(key, None)
-        if old_contrib is not None:
-            self._link_install -= old_contrib[0]
-            self._link_usage -= old_contrib[1]
-        record.structure_undo.append(lambda: self._restore_contrib(key, old_contrib))
+        # Validate the whole batch before mutating anything: a missing or
+        # duplicated key must leave the state untouched.
+        seen = set()
+        links = []
+        for u, v in pairs:
+            link = topology.link(u, v)
+            if link.key in seen:
+                raise TopologyError(f"duplicate link {link.key} in RemoveLinks batch")
+            seen.add(link.key)
+            links.append(link)
+        if not links:
+            return
+        # Pushed first so it runs *last* on unwind: once every link is back,
+        # restore the dict iteration orders so a remove → revert round trip
+        # leaves the compiled edge order byte-identical, not just
+        # structurally identical.
+        touched = {end for link in links for end in (link.source, link.target)}
+        links_order = list(topology._links)
+        adjacency_order = {u: list(topology._adjacency[u]) for u in touched}
+        record.structure_undo.append(
+            lambda: topology._restore_link_order(links_order, adjacency_order)
+        )
+        for link in links:
+            topology.remove_link(link.source, link.target)
+            # Re-insert the *original* Link object on revert: earlier undo
+            # records (e.g. an UpgradeCable restore) hold references to it, so
+            # replacing it with a copy would leave them mutating a dead object.
+            record.structure_undo.append(
+                lambda link=link: topology.add_link_object(link)
+            )
+            key = link.key
+            old_contrib = self._link_contrib.pop(key, None)
+            if old_contrib is not None:
+                self._link_install -= old_contrib[0]
+                self._link_usage -= old_contrib[1]
+            record.structure_undo.append(
+                lambda key=key, old=old_contrib: self._restore_contrib(key, old)
+            )
         # A union-find cannot split: rebuild reachability with one compiled-
-        # graph sweep, and keep the old structure for an O(V) exact revert.
-        # The restore goes through ``self._reach`` so it lands on whichever
-        # index object is current after the rebuild.
+        # graph sweep — shared by the whole batch — and keep the old structure
+        # for an O(V) exact revert.  The restore goes through ``self._reach``
+        # so it lands on whichever index object is current after the rebuild.
         snap = self._reach.snapshot()
         record.structure_undo.append(lambda: self._reach.restore(snap))
         self._rebuild_reachability()

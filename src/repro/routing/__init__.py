@@ -5,8 +5,21 @@ demand compiles to int-indexed arrays, routing batches one search per unique
 source, and loads live in per-edge columns until a single flush annotates the
 object graph.  :mod:`repro.routing.paths` and the per-pair assignment remain
 the reference implementations.
+
+:func:`route_demand` is the façade for one demand snapshot;
+:mod:`repro.routing.temporal` extends it along the time axis
+(:func:`route_series` diff-routes a :class:`DemandSeries`,
+:func:`failure_cascade` iterates overload trips to a fixed point), with
+:class:`RoutingOptions` carrying the shared weight/mode/method/backend
+vocabulary across all entry points.
 """
 
+from .options import (
+    ROUTING_BACKENDS,
+    ROUTING_METHODS,
+    ROUTING_MODES,
+    RoutingOptions,
+)
 from .paths import (
     PathCache,
     RoutedPath,
@@ -28,6 +41,19 @@ from .hierarchical import (
     overlay_for,
     route_demand_hierarchical,
 )
+from .temporal import (
+    CascadeResult,
+    CascadeRound,
+    CompiledSeries,
+    DemandSeries,
+    TemporalFlowResult,
+    TemporalStepResult,
+    compile_series,
+    diurnal_series,
+    failure_cascade,
+    flash_crowd,
+    route_series,
+)
 from .assignment import (
     AssignmentResult,
     assign_demand,
@@ -42,6 +68,21 @@ from .utilization import (
 )
 
 __all__ = [
+    "ROUTING_BACKENDS",
+    "ROUTING_METHODS",
+    "ROUTING_MODES",
+    "RoutingOptions",
+    "CascadeResult",
+    "CascadeRound",
+    "CompiledSeries",
+    "DemandSeries",
+    "TemporalFlowResult",
+    "TemporalStepResult",
+    "compile_series",
+    "diurnal_series",
+    "failure_cascade",
+    "flash_crowd",
+    "route_series",
     "PathCache",
     "RoutedPath",
     "WEIGHT_FUNCTIONS",

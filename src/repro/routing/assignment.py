@@ -24,7 +24,7 @@ from typing import Any, Dict, List, Optional, Tuple
 from ..geography.demand import DemandMatrix
 from ..topology.compiled import multi_source_dijkstra_indices
 from ..topology.graph import Topology
-from .engine import compile_demand, route_demand
+from .engine import route_demand
 from .paths import PathCache, resolve_weight
 
 
@@ -82,8 +82,14 @@ def assign_demand(
         disconnected endpoints) are recorded rather than raising.
     """
     if method == "batched":
-        compiled = compile_demand(topology, demand, endpoint_map)
-        flow = route_demand(compiled, weight=weight, mode=mode, backend=backend)
+        flow = route_demand(
+            topology,
+            demand,
+            weight=weight,
+            mode=mode,
+            backend=backend,
+            endpoint_map=endpoint_map,
+        )
         flow.flush(reset=reset_loads)
         return AssignmentResult(
             routed_volume=flow.routed_volume,

@@ -10,11 +10,15 @@ for that traffic.  This module is the array pipeline behind that evaluation:
   source/target/volume columns aligned with a
   :class:`~repro.topology.compiled.CompiledGraph` snapshot — endpoint-name
   resolution happens exactly once, not once per routing pass.
-* :func:`route_demand` routes every pair with **one shortest-path search per
-  unique source** (``KERNEL_COUNTERS.traffic_batched_sources`` counts them)
-  and scatters volumes onto a per-edge load column by pushing flow down the
-  predecessor tree — O(V) subtree accumulation per source instead of one
-  path resolution per pair.
+* :func:`route_demand` is the routing **façade**: called as
+  ``route_demand(topology, demand_matrix, ...)`` it compiles and routes in
+  one step (a pre-compiled :class:`CompiledDemand` is also accepted), with
+  switches validated through :class:`~repro.routing.options.RoutingOptions`.
+  Every pair routes with **one shortest-path search per unique source**
+  (``KERNEL_COUNTERS.traffic_batched_sources`` counts them) and volumes
+  scatter onto a per-edge load column by pushing flow down the predecessor
+  tree — O(V) subtree accumulation per source instead of one path
+  resolution per pair.
 * **ECMP mode** (``mode="ecmp"``) splits each pair's volume equally across
   all tied shortest paths: per source, shortest-path counts are accumulated
   along the equal-distance DAG and flow is distributed proportionally
@@ -99,7 +103,8 @@ from ..topology.compiled import (
     have_numpy_backend,
     resolve_backend,
 )
-from ..topology.graph import Topology
+from ..topology.graph import Topology, TopologyError
+from .options import RoutingOptions
 from .paths import resolve_weight
 
 if have_numpy_backend():
@@ -286,44 +291,136 @@ class FlowResult:
             return float(self.edge_loads.max())
         return max(self.edge_loads)
 
+    def loads_for(self, topology: Topology) -> Any:
+        """The edge-load column, validated against ``topology``'s snapshot.
+
+        This is the contract behind passing a :class:`FlowResult` to the
+        analysis/provisioning consumers (``utilization_report``,
+        ``load_concentration``, ``provision_topology``): the column is only
+        meaningful against the exact compiled snapshot it was routed on.  If
+        the topology mutated since routing (its ``version`` moved, so
+        ``topology.compiled()`` is a different snapshot), repricing the stale
+        column would silently mis-assign loads to reindexed links — raise a
+        :class:`~repro.topology.graph.TopologyError` instead.
+        """
+        graph = topology.compiled()
+        if graph is not self.graph:
+            raise TopologyError(
+                f"stale FlowResult: routed against snapshot version "
+                f"{self.graph.version}, but topology {topology.name!r} now "
+                f"compiles to version {graph.version} — re-route the demand "
+                f"instead of repricing a stale load column"
+            )
+        return self.edge_loads
+
 
 def route_demand(
-    demand: CompiledDemand,
+    topology: Any,
+    demand: Any = None,
     weight: Optional[str] = None,
-    mode: str = "single",
+    mode: Optional[str] = None,
     backend: Optional[str] = None,
     method: Optional[str] = None,
+    *,
+    options: Optional[RoutingOptions] = None,
+    endpoint_map: Optional[Dict[str, Any]] = None,
 ) -> FlowResult:
-    """Route a compiled demand matrix; one shortest-path search per source.
+    """The routing façade: route a demand over a topology in one call.
 
-    Args:
-        demand: Compiled demand (see :func:`compile_demand`).
-        weight: Named weight function for path selection (default: length).
-        mode: ``"single"`` routes each pair over one canonical shortest path
-            (the predecessor tree of the shared per-source search; identical
-            to the per-pair reference on unique-shortest-path instances —
-            see the module docstring for the tie caveat); ``"ecmp"`` splits
-            each pair's volume equally over all tied shortest paths.
-        backend: ``"python"`` (canonical reference), ``"numpy"`` (batched
-            ``csgraph`` searches + vectorized scatter; requires scipy and
-            strictly positive weights), or ``None``/``"auto"``.  See the
-            module docstring for the backend equivalence contract.
-        method: ``"flat"`` (one search per unique source — the engine in
-            this module), ``"hierarchical"`` (overlay table joins — see
-            :mod:`repro.routing.hierarchical`; single-path mode and strictly
-            positive weights only), or ``None``/``"auto"``, which picks
-            hierarchical for many-source single-path demand on large graphs
-            whose overlay mesh fits the budget, and flat otherwise.  See the
-            hierarchical module docstring for the flat-equivalence contract.
+    Two calling forms share one implementation:
+
+    * ``route_demand(topology, demand_matrix, ...)`` — the documented entry
+      point.  The matrix is compiled against ``topology.compiled()`` (see
+      :func:`compile_demand`; ``endpoint_map`` maps matrix endpoint names to
+      node ids) and routed in the same call.
+    * ``route_demand(compiled_demand, ...)`` — the pre-compiled form for
+      callers that reuse one :class:`CompiledDemand` across routing passes
+      (benchmarks, backend-parity checks).  A :class:`CompiledDemand` may
+      also be passed as the second argument next to its topology; it is then
+      validated against the topology's *current* snapshot and a stale one
+      raises :class:`~repro.topology.graph.TopologyError`.
+
+    Switches come either as individual kwargs or bundled in a
+    :class:`~repro.routing.options.RoutingOptions` (``options=``; mutually
+    exclusive with the individual kwargs):
+
+    * ``weight``: named weight function for path selection (default length).
+    * ``mode``: ``"single"`` routes each pair over one canonical shortest
+      path (the predecessor tree of the shared per-source search; identical
+      to the per-pair reference on unique-shortest-path instances — see the
+      module docstring for the tie caveat); ``"ecmp"`` splits each pair's
+      volume equally over all tied shortest paths.
+    * ``backend``: ``"python"`` (canonical reference), ``"numpy"`` (batched
+      ``csgraph`` searches + vectorized scatter; requires scipy and strictly
+      positive weights), or ``"auto"``.  See the module docstring for the
+      backend equivalence contract.
+    * ``method``: ``"flat"`` (one search per unique source — the engine in
+      this module), ``"hierarchical"`` (overlay table joins — see
+      :mod:`repro.routing.hierarchical`; single-path mode and strictly
+      positive weights only), or ``"auto"``, which picks hierarchical for
+      many-source single-path demand on large graphs whose overlay mesh fits
+      the budget, and flat otherwise.
 
     Returns:
         A :class:`FlowResult` whose ``edge_loads`` column is aligned with
-        ``demand.graph``; call :meth:`FlowResult.flush` to annotate links.
+        the routed snapshot; call :meth:`FlowResult.flush` to annotate links
+        or pass the result to ``utilization_report`` / ``load_concentration``
+        / ``provision_topology`` directly.
     """
-    if mode not in ("single", "ecmp"):
-        raise ValueError(f"unknown routing mode {mode!r}")
-    if method not in (None, "auto", "flat", "hierarchical"):
-        raise ValueError(f"unknown routing method {method!r}")
+    opts = RoutingOptions.normalize(
+        options, weight=weight, mode=mode, method=method, backend=backend
+    )
+    return _route_compiled(_resolve_demand(topology, demand, endpoint_map), opts)
+
+
+def _resolve_demand(
+    topology: Any, demand: Any, endpoint_map: Optional[Dict[str, Any]]
+) -> CompiledDemand:
+    """Normalize the façade's two calling forms to one ``CompiledDemand``."""
+    if isinstance(topology, CompiledDemand):
+        if demand is not None:
+            raise TypeError(
+                "route_demand(compiled_demand) takes no second demand "
+                "argument; use route_demand(topology, demand) to compile "
+                "and route in one call"
+            )
+        if endpoint_map is not None:
+            raise TypeError(
+                "endpoint_map only applies when route_demand compiles a "
+                "DemandMatrix; this demand is already compiled"
+            )
+        return topology
+    if isinstance(topology, Topology):
+        if isinstance(demand, CompiledDemand):
+            if endpoint_map is not None:
+                raise TypeError(
+                    "endpoint_map only applies when route_demand compiles a "
+                    "DemandMatrix; this demand is already compiled"
+                )
+            graph = topology.compiled()
+            if demand.graph is not graph:
+                raise TopologyError(
+                    f"stale CompiledDemand: compiled against snapshot version "
+                    f"{demand.graph.version}, but topology {topology.name!r} "
+                    f"now compiles to version {graph.version} — recompile "
+                    f"with compile_demand()"
+                )
+            return demand
+        if demand is None or not hasattr(demand, "pairs"):
+            raise TypeError(
+                f"route_demand(topology, demand) needs a DemandMatrix or "
+                f"CompiledDemand, got {type(demand).__name__}"
+            )
+        return compile_demand(topology, demand, endpoint_map)
+    raise TypeError(
+        f"route_demand expects a Topology or CompiledDemand first, "
+        f"got {type(topology).__name__}"
+    )
+
+
+def _route_compiled(demand: CompiledDemand, opts: RoutingOptions) -> FlowResult:
+    """Route a compiled demand under validated options (the engine proper)."""
+    weight, mode, method, backend = opts.weight, opts.mode, opts.method, opts.backend
     graph = demand.graph
     weights = graph.edge_weight_column(weight, resolve_weight(weight))
     positive = graph.num_edges == 0 or _column_min(weights) > 0
@@ -335,12 +432,7 @@ def route_demand(
         return route_demand_hierarchical(
             demand, weight=weight, mode=mode, backend=backend
         )
-    if (
-        method in (None, "auto")
-        and mode == "single"
-        and positive
-        and _auto_hierarchical(demand)
-    ):
+    if method == "auto" and mode == "single" and positive and _auto_hierarchical(demand):
         from .hierarchical import (
             AUTO_MESH_CELLS,
             OverlayTooLarge,

@@ -83,6 +83,7 @@ from ..topology.compiled import (
 from ..topology.hierarchy import LEVEL_RANKS
 from ..topology.hierarchy import compiled_level_ranks as _compiled_level_ranks
 from .engine import CompiledDemand, FlowResult
+from .options import RoutingOptions
 from .paths import resolve_weight
 
 if have_numpy_backend():
@@ -827,18 +828,26 @@ def _restricted_search(
 def route_demand_hierarchical(
     demand: CompiledDemand,
     weight: Optional[str] = None,
-    mode: str = "single",
+    mode: Optional[str] = None,
     backend: Optional[str] = None,
     mesh_cap: Optional[int] = None,
+    *,
+    options: Optional[RoutingOptions] = None,
 ) -> FlowResult:
     """Route a compiled demand matrix through the hierarchical overlay.
 
-    Single-path mode only; requires strictly positive weights.  See the
-    module docstring for the partition, the exactness argument, and the
+    Single-path mode only; requires strictly positive weights.  Switches use
+    the façade vocabulary (:class:`~repro.routing.options.RoutingOptions`;
+    pass ``options=`` or individual kwargs, not both).  See the module
+    docstring for the partition, the exactness argument, and the
     flat-equivalence contract.  The overlay comes from :func:`overlay_for`
     (cached per snapshot and weight name); ``mesh_cap`` bounds the mesh for
     automatic callers (:class:`OverlayTooLarge` on excess).
     """
+    opts = RoutingOptions.normalize(
+        options, weight=weight, mode=mode, backend=backend
+    )
+    weight, mode, backend = opts.weight, opts.mode, opts.backend
     if mode != "single":
         raise ValueError("hierarchical routing supports single-path mode only")
     graph = demand.graph

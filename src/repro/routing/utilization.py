@@ -1,11 +1,53 @@
-"""Link utilization analysis of loaded, provisioned topologies."""
+"""Link utilization analysis of loaded, provisioned topologies.
+
+The analysis entry points consume routing results uniformly: pass the
+:class:`~repro.routing.engine.FlowResult` returned by ``route_demand`` and
+the edge-load column is validated against the topology's *current* compiled
+snapshot (a stale result — the topology mutated since routing — raises
+:class:`~repro.topology.graph.TopologyError` instead of silently repricing
+against a different graph).  The legacy ``loads=`` column kwarg still works
+but raises :class:`DeprecationWarning`.
+"""
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..topology.graph import Topology
+
+
+def _resolve_flow_loads(
+    topology: Topology,
+    flow: Any,
+    loads: Optional[Sequence[float]],
+    caller: str,
+) -> Optional[Sequence[float]]:
+    """Normalize the ``flow=`` / deprecated ``loads=`` arguments to a column.
+
+    ``flow`` is anything with a ``loads_for(topology)`` method (a
+    :class:`~repro.routing.engine.FlowResult` or a temporal step result) —
+    the method validates the snapshot version and returns the edge column.
+    A bare sequence passed as ``flow`` is treated as a legacy positional
+    ``loads`` column, with the same :class:`DeprecationWarning` as the
+    ``loads=`` kwarg.  Returns ``None`` when neither was given (callers then
+    read the annotated ``Link.load`` values).
+    """
+    if flow is not None and loads is not None:
+        raise TypeError(f"{caller}() takes flow= or loads=, not both")
+    if flow is not None:
+        if hasattr(flow, "loads_for"):
+            return flow.loads_for(topology)
+        loads = flow  # legacy positional loads column
+    if loads is not None:
+        warnings.warn(
+            f"{caller}(loads=...) is deprecated; pass the FlowResult itself "
+            f"({caller}(topology, flow))",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+    return loads
 
 
 def utilization_bin(utilization: float) -> float:
@@ -47,18 +89,27 @@ class UtilizationReport:
 
 
 def utilization_report(
-    topology: Topology, loads: Optional[Sequence[float]] = None
+    topology: Topology,
+    flow: Any = None,
+    *,
+    loads: Optional[Sequence[float]] = None,
 ) -> UtilizationReport:
     """Compute utilization statistics over all capacity-annotated links.
 
     Args:
         topology: The provisioned topology.
-        loads: Optional per-edge load column aligned with
-            ``topology.compiled()`` (e.g. ``FlowResult.edge_loads``).  When
-            given, statistics come from the array and the annotated
-            ``Link.load`` values are ignored — the array pipeline needs no
-            flush before analysis.
+        flow: Optional routing result (e.g. a
+            :class:`~repro.routing.engine.FlowResult`) whose edge-load column
+            supplies the statistics — the annotated ``Link.load`` values are
+            ignored, so the array pipeline needs no flush before analysis.
+            The result is validated against the topology's current snapshot;
+            a stale result raises
+            :class:`~repro.topology.graph.TopologyError`.
+        loads: Deprecated — a bare per-edge load column aligned with
+            ``topology.compiled()``; pass the routing result as ``flow``
+            instead.
     """
+    loads = _resolve_flow_loads(topology, flow, loads, "utilization_report")
     utilizations = []
     overloaded = []
     total_load = 0.0
@@ -117,17 +168,21 @@ def most_loaded_links(topology: Topology, k: int = 10) -> List[Tuple[Tuple, floa
 def load_concentration(
     topology: Topology,
     top_fraction: float = 0.1,
+    flow: Any = None,
+    *,
     loads: Optional[Sequence[float]] = None,
 ) -> float:
     """Fraction of total traffic carried by the top ``top_fraction`` of links.
 
     HOT-style aggregation concentrates traffic onto a few high-capacity trunks
-    (values near 1); uniform meshes spread it out.  ``loads`` optionally
-    supplies a per-edge column (any order) instead of the annotated
-    ``Link.load`` values.
+    (values near 1); uniform meshes spread it out.  ``flow`` optionally
+    supplies a routing result (validated against the current snapshot, like
+    :func:`utilization_report`) instead of the annotated ``Link.load``
+    values; ``loads`` (deprecated) accepts a bare column in any order.
     """
     if not 0 < top_fraction <= 1:
         raise ValueError("top_fraction must be in (0, 1]")
+    loads = _resolve_flow_loads(topology, flow, loads, "load_concentration")
     if loads is None:
         loads = [link.load for link in topology.links()]
     ranked = sorted(loads, reverse=True)

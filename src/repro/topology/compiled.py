@@ -188,7 +188,13 @@ class KernelCounters:
     restricted per-region sweep source as ``hier_region_sweeps``, and every
     demand pair answered through the overlay tables as ``hier_table_joins``
     — the E12 many-source gates assert the overlay actually answered the
-    matrix instead of falling back to per-source searches.
+    matrix instead of falling back to per-source searches.  The temporal
+    engine (:mod:`repro.routing.temporal`) records every routed series step
+    as ``temporal_steps``, every source group actually re-searched by the
+    per-step diff as ``temporal_resolved_sources`` (unchanged groups reuse
+    retained load columns and are *not* counted — the E13 gates assert the
+    diff engages instead of silently re-routing everything), and every link
+    tripped by a failure cascade as ``cascade_trips``.
 
     Algorithm-count counters (``single_source``/``multi_source``/``bfs``/
     ``components``) are **backend-independent**: a batch scipy call records
@@ -219,6 +225,9 @@ class KernelCounters:
         "hier_overlay_builds",
         "hier_region_sweeps",
         "hier_table_joins",
+        "temporal_steps",
+        "temporal_resolved_sources",
+        "cascade_trips",
     )
 
     def __init__(self) -> None:

@@ -261,6 +261,36 @@ class Topology:
         del self._adjacency[v][u]
         self._bump_version()
 
+    def _restore_link_order(
+        self,
+        links_order: List[Tuple[Any, Any]],
+        adjacency_order: Dict[Any, List[Any]],
+    ) -> None:
+        """Restore link/adjacency dict iteration order (undo support).
+
+        Re-inserting a removed :class:`Link` lands it at the *end* of the
+        link and adjacency dicts, so a remove → revert round trip would
+        otherwise permute the compiled edge order — structurally identical,
+        but no longer byte-identical for edge-indexed load columns.  Undo
+        records capture the pre-removal orders and call this after the links
+        are back.  Raises :class:`TopologyError` when the captured key sets
+        no longer match the live dicts (an interleaved structural mutation
+        that should have been reverted first).
+        """
+        if set(links_order) != set(self._links):
+            raise TopologyError(
+                "cannot restore link order: link set changed since capture"
+            )
+        self._links = {key: self._links[key] for key in links_order}
+        for u, neighbors in adjacency_order.items():
+            row = self._adjacency[u]
+            if set(neighbors) != set(row):
+                raise TopologyError(
+                    f"cannot restore adjacency order of {u!r}: "
+                    f"neighbor set changed since capture"
+                )
+            self._adjacency[u] = {v: row[v] for v in neighbors}
+
     def has_link(self, u: Any, v: Any) -> bool:
         """Return True if a link between ``u`` and ``v`` exists."""
         if u == v:

@@ -124,7 +124,7 @@ class TestRunTasks:
 class TestBuiltinSuites:
     def test_all_experiments_registered(self):
         known = available_experiments()
-        expected = sorted(f"E{i}" for i in range(1, 13))
+        expected = sorted(f"E{i}" for i in range(1, 14))
         assert expected == [e for e in known if e.startswith("E")]
 
     def test_e1_smoke_end_to_end(self, tmp_path):
