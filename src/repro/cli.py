@@ -124,6 +124,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--force", action="store_true", help="recompute every point, ignoring the cache"
     )
     run.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "continue an interrupted sweep: completed points load from the store "
+            "as cache hits (reported as resumed); incompatible with --force"
+        ),
+    )
+    run.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        help="retries per task after a failure/worker death/timeout (default 2)",
+    )
+    run.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        help=(
+            "per-task wall-clock budget in seconds; an overrunning attempt is "
+            "killed and retried (default: no timeout)"
+        ),
+    )
+    run.add_argument(
         "--results-dir",
         default="RESULTS",
         help="result store root (default RESULTS/); per-task records and manifests",
@@ -230,6 +253,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if not args.experiments:
         print("no experiments given (try 'all' or --list)", file=sys.stderr)
         return 2
+    if args.resume and args.force:
+        print("--resume and --force are mutually exclusive", file=sys.stderr)
+        return 2
     requested: List[str] = []
     for name in args.experiments:
         if name.lower() == "all":
@@ -240,9 +266,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
             print(f"unknown experiment {name!r}; known: {', '.join(known)}", file=sys.stderr)
             return 2
     failed: List[str] = []
+    degraded: List[str] = []
     for experiment_id in dict.fromkeys(requested):  # de-dup, keep order
         # Gates run after the tables are printed (check=False here), so a
         # failing experiment still shows its report before the FAIL verdict.
+        # strict=False: a degraded sweep (quarantined tasks) still writes its
+        # partial manifest and prints its accounting; the CLI maps it to a
+        # distinct exit code instead of a traceback.
         result = run_experiment(
             experiment_id,
             smoke=args.smoke,
@@ -250,12 +280,26 @@ def _cmd_run(args: argparse.Namespace) -> int:
             results_dir=args.results_dir,
             force=args.force,
             check=False,
+            max_retries=args.max_retries,
+            task_timeout=args.task_timeout,
+            resume=args.resume,
+            strict=False,
         )
         # emit=False: the CLI prints tables but leaves the benchmarks/results/
         # text artifacts to the benchmark scripts.
         print_experiment(result, emit=False)
         if result.manifest_path is not None:
             print(f"[{experiment_id}] manifest: {result.manifest_path}")
+        if result.degraded:
+            degraded.append(experiment_id)
+            for digest, error in sorted(result.report.quarantined.items()):
+                print(f"[{experiment_id}] quarantined {digest[:16]}: {error}", file=sys.stderr)
+            print(
+                f"[{experiment_id}] DEGRADED: {len(result.report.quarantined)} task(s) "
+                "quarantined; manifest flagged, gates skipped",
+                file=sys.stderr,
+            )
+            continue
         if not args.no_check:
             suite = get_suite(experiment_id)
             if suite.check is not None:
@@ -267,6 +311,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
                     failed.append(experiment_id)
                     detail = f": {error}" if str(error) else ""
                     print(f"[{experiment_id}] gates: FAIL{detail}", file=sys.stderr)
+    if degraded:
+        # Distinct from gate failures (1) and usage errors (2): the sweep
+        # finished, but without its quarantined tasks.
+        print(f"degraded sweeps: {', '.join(degraded)}", file=sys.stderr)
+        return 3
     if failed:
         print(f"gate failures: {', '.join(failed)}", file=sys.stderr)
         return 1

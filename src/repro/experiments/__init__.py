@@ -2,12 +2,15 @@
 
 The layer every workload plugs into: :class:`~repro.experiments.task.Task`
 expansion from :mod:`repro.workloads.scenarios` sweep grids, a deterministic
-parallel runner (:func:`run_tasks` / :func:`run_experiment`), the
-content-addressed ``RESULTS/`` store with per-scenario manifests, and the
-shared reporting helpers used by all ``benchmarks/bench_*.py`` scripts and
-``python -m repro.cli run``.
+fault-tolerant work-queue runner (:func:`run_tasks` / :func:`run_experiment`:
+streaming per-task persistence, worker-death recovery, bounded retries,
+timeouts, quarantine), the crash-safe content-addressed ``RESULTS/`` store
+with per-scenario manifests, the deterministic fault-injection harness
+(:mod:`repro.experiments.faults`), and the shared reporting helpers used by
+all ``benchmarks/bench_*.py`` scripts and ``python -m repro.cli run``.
 """
 
+from .faults import Fault, FaultPlan, InjectedFault, active_fault_plan
 from .manifest import ResultStore, TaskRecord, identity_view, json_safe, payload_sha256
 from .registry import (
     ExperimentSuite,
@@ -17,8 +20,12 @@ from .registry import (
     register_suite,
 )
 from .runner import (
+    DEFAULT_MAX_RETRIES,
+    DEFAULT_RETRY_BACKOFF,
+    DegradedSweepError,
     ExperimentResult,
     RunReport,
+    TaskTimeoutError,
     execute_task,
     run_experiment,
     run_tasks,
@@ -34,13 +41,21 @@ from .task import (
 )
 
 __all__ = [
+    "DEFAULT_MAX_RETRIES",
+    "DEFAULT_RETRY_BACKOFF",
     "SCHEMA_VERSION",
+    "DegradedSweepError",
     "ExperimentResult",
     "ExperimentSuite",
+    "Fault",
+    "FaultPlan",
+    "InjectedFault",
     "ResultStore",
     "RunReport",
     "Task",
     "TaskRecord",
+    "TaskTimeoutError",
+    "active_fault_plan",
     "available_experiments",
     "canonical_json",
     "derive_seed",

@@ -12,10 +12,21 @@ legitimately vary run to run).  :func:`identity_view` strips the timing
 fields, which is exactly the "byte-identical modulo timing" contract the
 benchmark harness and the runner tests check.
 
+All store writes are **crash-safe**: records and manifests are written to a
+``.tmp`` sibling and :func:`os.replace`-d into place, so an interrupted run
+can leave behind a stale temp file but never a torn record.  Files that are
+unreadable or truncated anyway (a disk fault, a corrupted copy) are
+quarantined by :meth:`ResultStore.load` to ``<digest>.json.corrupt`` — and
+counted — instead of being silently treated as cache misses; the task is
+then recomputed and re-persisted at its content address.
+
 The per-scenario ``manifest.json`` lists every task of the sweep in index
 order with its digest and a payload hash, and contains *no* timing fields at
 all: two runs of the same sweep write byte-identical manifests regardless of
-``--jobs``.  It also records an ``environment`` fingerprint (python/scipy
+``--jobs``.  A sweep that had to quarantine tasks (retry budget exhausted)
+writes a manifest explicitly flagged ``"degraded": true`` with a
+``"quarantined"`` section; quarantine-free manifests carry neither key, so
+their bytes are unchanged.  It also records an ``environment`` fingerprint (python/scipy
 versions) for provenance — a **non-identity** field: it enters no digest or
 payload hash, so cache addressing and result identity are unaffected by
 toolchain upgrades (manifests from different environments legitimately differ
@@ -27,9 +38,10 @@ from __future__ import annotations
 import hashlib
 import json
 import math
+import os
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence
 
 from .task import SCHEMA_VERSION, Task, canonical_json
 
@@ -148,11 +160,35 @@ def payload_sha256(payload: Dict[str, object]) -> str:
     return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
 
 
+def _atomic_write_text(path: Path, text: str) -> None:
+    """Write ``text`` to ``path`` atomically (tmp sibling + ``os.replace``).
+
+    The temp name includes the pid so concurrent writers of the same path
+    (two sweeps sharing a store) never clobber each other's staging file; the
+    final ``os.replace`` is atomic on POSIX, so readers see either the old
+    complete file or the new complete file, never a torn write.
+    """
+    tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+    tmp.write_text(text)
+    os.replace(tmp, path)
+
+
 class ResultStore:
-    """Filesystem store rooted at a ``RESULTS/`` directory."""
+    """Filesystem store rooted at a ``RESULTS/`` directory.
+
+    ``corrupt_quarantined`` accumulates the ``.corrupt`` paths this instance
+    quarantined (unreadable/truncated record files found by :meth:`load`);
+    the runner reports the per-run delta.
+    """
 
     def __init__(self, root: Path | str = "RESULTS") -> None:
         self.root = Path(root)
+        self.corrupt_quarantined: List[Path] = []
+
+    @property
+    def corrupt_count(self) -> int:
+        """Number of corrupt record files quarantined by this instance."""
+        return len(self.corrupt_quarantined)
 
     def scenario_dir(self, scenario_id: str) -> Path:
         """Directory holding one scenario's records and manifest."""
@@ -162,28 +198,79 @@ class ResultStore:
         """Path of one task's record file."""
         return self.scenario_dir(scenario_id) / f"{digest}.json"
 
+    def quarantine_marker_path(self, scenario_id: str, digest: str) -> Path:
+        """Path of one task's quarantine marker (retry budget exhausted)."""
+        return self.scenario_dir(scenario_id) / f"{digest}.quarantined.json"
+
     def manifest_path(self, scenario_id: str) -> Path:
         """Path of one scenario's manifest file."""
         return self.scenario_dir(scenario_id) / "manifest.json"
 
     def load(self, task: Task) -> Optional[TaskRecord]:
-        """Load the cached record for a task, or None on miss/schema mismatch."""
+        """Load the cached record for a task, or None on miss/schema mismatch.
+
+        Unreadable or truncated files are quarantined to
+        ``<digest>.json.corrupt`` (and counted in ``corrupt_quarantined``);
+        files that parse as JSON but carry a stale schema remain plain cache
+        misses — that is the versioning contract, not corruption.
+        """
         path = self.record_path(task.scenario_id, task.digest)
         if not path.exists():
             return None
         try:
             data = json.loads(path.read_text())
+        except (OSError, UnicodeDecodeError, json.JSONDecodeError):
+            return self._quarantine_corrupt(path)
+        try:
             record = TaskRecord.from_json(data)
-        except (ValueError, KeyError, json.JSONDecodeError):
-            return None  # unreadable or stale-schema entries are cache misses
+        except (ValueError, KeyError, TypeError, AttributeError):
+            return None  # valid JSON, stale schema/shape: a plain cache miss
         record.cached = True
         return record
 
+    def _quarantine_corrupt(self, path: Path) -> None:
+        """Move an unreadable record aside so it is recomputed, not reused."""
+        corrupt = path.with_name(f"{path.name}.corrupt")
+        try:
+            os.replace(path, corrupt)
+        except OSError:  # pragma: no cover - racing cleanup; treat as a miss
+            return None
+        self.corrupt_quarantined.append(corrupt)
+        return None
+
     def store(self, record: TaskRecord) -> Path:
-        """Persist a record at its content address."""
+        """Persist a record at its content address (atomic write).
+
+        A successful store also clears any quarantine marker left by an
+        earlier run that exhausted the task's retries.
+        """
         path = self.record_path(record.scenario_id, record.digest)
         path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(json.dumps(record.to_json(), indent=2, sort_keys=True) + "\n")
+        _atomic_write_text(path, json.dumps(record.to_json(), indent=2, sort_keys=True) + "\n")
+        marker = self.quarantine_marker_path(record.scenario_id, record.digest)
+        marker.unlink(missing_ok=True)
+        return path
+
+    def quarantine_task(
+        self,
+        scenario_id: str,
+        index: int,
+        point: Mapping[str, object],
+        digest: str,
+        error: str,
+    ) -> Path:
+        """Write the quarantine marker for a task that exhausted its retries."""
+        path = self.quarantine_marker_path(scenario_id, digest)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        marker = {
+            "schema": SCHEMA_VERSION,
+            "scenario": scenario_id,
+            "index": index,
+            "point": dict(point),
+            "digest": digest,
+            "error": error,
+        }
+        _atomic_write_text(path, json.dumps(marker, indent=2, sort_keys=True) + "\n")
         return path
 
     def write_manifest(
@@ -193,12 +280,18 @@ class ResultStore:
         title: str = "",
         mode: str = "full",
         base_seed: int = 0,
+        quarantined: Sequence[Mapping[str, object]] = (),
     ) -> Path:
         """Write the deterministic sweep manifest (no timing fields).
 
         Records are listed in task-index order, so the manifest bytes depend
         only on the sweep definition and the (deterministic) payloads — not
         on scheduling, job count, or cache state.
+
+        ``quarantined`` entries (``index``/``point``/``digest``/``error`` of
+        tasks that exhausted their retries) flag the manifest
+        ``"degraded": true``; when empty, neither key is written and the
+        manifest bytes match a clean run's exactly.
         """
         entries: List[Dict[str, object]] = [
             {
@@ -221,7 +314,12 @@ class ResultStore:
             "num_tasks": len(entries),
             "tasks": entries,
         }
+        if quarantined:
+            manifest["degraded"] = True
+            manifest["quarantined"] = sorted(
+                (dict(entry) for entry in quarantined), key=lambda e: e["index"]
+            )
         path = self.manifest_path(scenario_id)
         path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+        _atomic_write_text(path, json.dumps(manifest, indent=2, sort_keys=True) + "\n")
         return path

@@ -27,7 +27,7 @@ import time
 from pathlib import Path
 from typing import Callable, Dict, List, Sequence, Tuple
 
-from .runner import ExperimentResult
+from .runner import ExperimentResult, RunReport
 
 
 def results_dir() -> Path:
@@ -86,6 +86,17 @@ def emit_text(
     (directory / f"{experiment_id}{suffix}.txt").write_text(body + "\n")
 
 
+def resilience_summary(report: RunReport) -> Dict[str, object]:
+    """The failure-accounting fields of a run, for tables and artifacts."""
+    return {
+        "retries": report.retries,
+        "timeouts": report.timeouts,
+        "quarantined": len(report.quarantined),
+        "resumed": report.resumed,
+        "corrupt_quarantined": report.corrupt_quarantined,
+    }
+
+
 def print_experiment(result: ExperimentResult, emit: bool = True) -> None:
     """Render every table of an engine run (optionally persisting the text)."""
     for table_name, rows in result.tables.items():
@@ -102,6 +113,11 @@ def print_experiment(result: ExperimentResult, emit: bool = True) -> None:
         f"{report.cache_hits} cached, jobs={report.jobs}, "
         f"{report.elapsed_seconds:.2f}s"
     )
+    accounting = resilience_summary(report)
+    if any(accounting.values()):
+        detail = ", ".join(f"{count} {name}" for name, count in accounting.items() if count)
+        status = "DEGRADED" if report.degraded else "recovered"
+        print(f"[{result.scenario_id}] resilience ({status}): {detail}")
 
 
 # ----------------------------------------------------------------------
@@ -188,6 +204,13 @@ def bench_main(
     parser.add_argument("--smoke", action="store_true", help="reduced CI sweep")
     parser.add_argument("--jobs", type=int, default=1, help="worker processes")
     parser.add_argument("--force", action="store_true", help="recompute cached points")
+    parser.add_argument("--resume", action="store_true", help="continue an interrupted sweep")
+    parser.add_argument(
+        "--max-retries", type=int, default=2, help="retries per failed task (default 2)"
+    )
+    parser.add_argument(
+        "--task-timeout", type=float, default=None, help="per-task wall-clock budget (seconds)"
+    )
     args = parser.parse_args(list(argv) if argv is not None else None)
     return run_bench(
         experiment_id,
@@ -195,6 +218,9 @@ def bench_main(
         jobs=args.jobs,
         force=args.force,
         json_name=json_name,
+        resume=args.resume,
+        max_retries=args.max_retries,
+        task_timeout=args.task_timeout,
     )
 
 
@@ -204,11 +230,27 @@ def run_bench(
     jobs: int = 1,
     force: bool = False,
     json_name: str | None = None,
+    resume: bool = False,
+    max_retries: int = 2,
+    task_timeout: float | None = None,
 ) -> ExperimentResult:
-    """Run one engine experiment the way the benchmark harness does."""
+    """Run one engine experiment the way the benchmark harness does.
+
+    Benches run strict: a degraded sweep raises ``DegradedSweepError`` (after
+    writing its partial manifest) so CI fails loudly rather than gating
+    partial tables.
+    """
     from .runner import run_experiment
 
-    result = run_experiment(experiment_id, smoke=smoke, jobs=jobs, force=force)
+    result = run_experiment(
+        experiment_id,
+        smoke=smoke,
+        jobs=jobs,
+        force=force,
+        resume=resume,
+        max_retries=max_retries,
+        task_timeout=task_timeout,
+    )
     print_experiment(result)
     path = write_bench_json(json_name or experiment_id, experiment_bench_payload(result))
     print(f"wrote {path}")
@@ -226,6 +268,7 @@ def experiment_bench_payload(result: ExperimentResult) -> Dict[str, object]:
         "cache_hits": result.report.cache_hits,
         "jobs": result.report.jobs,
         "gates_checked": result.gates_checked,
+        "resilience": resilience_summary(result.report),
         "timing": {
             "sweep_seconds": round(result.report.elapsed_seconds, 6),
             "per_task": summarize_timings(list(result.record_timings.values())),

@@ -90,12 +90,47 @@ class TestResultStore:
         path.write_text(json.dumps(data))
         assert store.load(Task.make("EX", 0, {"n": 10}, 3)) is None
 
-    def test_miss_on_corrupt_record(self, tmp_path):
+    def test_corrupt_record_quarantined_not_silently_missed(self, tmp_path):
         store = ResultStore(tmp_path)
         record = make_record()
         path = store.store(record)
         path.write_text("{not json")
         assert store.load(Task.make("EX", 0, {"n": 10}, 3)) is None
+        corrupt = path.with_name(path.name + ".corrupt")
+        assert corrupt.exists() and not path.exists()
+        assert store.corrupt_count == 1 and store.corrupt_quarantined == [corrupt]
+
+    def test_truncated_record_quarantined(self, tmp_path):
+        store = ResultStore(tmp_path)
+        path = store.store(make_record())
+        path.write_bytes(path.read_bytes()[:20])
+        assert store.load(Task.make("EX", 0, {"n": 10}, 3)) is None
+        assert store.corrupt_count == 1
+
+    def test_stale_schema_is_miss_not_corruption(self, tmp_path):
+        store = ResultStore(tmp_path)
+        record = make_record()
+        path = store.store(record)
+        data = json.loads(path.read_text())
+        data["schema"] = SCHEMA_VERSION + 1
+        path.write_text(json.dumps(data))
+        assert store.load(Task.make("EX", 0, {"n": 10}, 3)) is None
+        assert store.corrupt_count == 0 and path.exists()  # versioning, not a fault
+
+    def test_store_write_is_atomic_no_tmp_left(self, tmp_path):
+        store = ResultStore(tmp_path)
+        path = store.store(make_record())
+        leftovers = [p for p in path.parent.iterdir() if p.name.endswith(".tmp")]
+        assert leftovers == []
+
+    def test_store_clears_quarantine_marker(self, tmp_path):
+        store = ResultStore(tmp_path)
+        record = make_record()
+        marker = store.quarantine_task("EX", 0, {"n": 10}, record.digest, "RuntimeError: x")
+        assert marker.exists()
+        assert json.loads(marker.read_text())["error"] == "RuntimeError: x"
+        store.store(record)
+        assert not marker.exists()
 
     def test_manifest_has_no_timing_and_is_ordered(self, tmp_path):
         store = ResultStore(tmp_path)
@@ -122,6 +157,20 @@ class TestResultStore:
         record = make_record()
         assert "environment" not in record.to_json()
         assert "environment" not in json.dumps(manifest["tasks"])
+
+    def test_quarantined_entries_flag_manifest_degraded(self, tmp_path):
+        store = ResultStore(tmp_path)
+        clean_path = store.write_manifest("EX", [make_record()], title="t", base_seed=3)
+        clean = clean_path.read_bytes()
+        assert b"degraded" not in clean  # quarantine-free manifests are unchanged
+        entry = {"index": 1, "point": {"n": 11}, "digest": "ff" * 32, "error": "E: boom"}
+        store.write_manifest("EX", [make_record()], title="t", base_seed=3, quarantined=[entry])
+        manifest = json.loads(clean_path.read_text())
+        assert manifest["degraded"] is True
+        assert manifest["quarantined"] == [entry]
+        # Writing quarantine-free again restores the clean bytes exactly.
+        store.write_manifest("EX", [make_record()], title="t", base_seed=3)
+        assert clean_path.read_bytes() == clean
 
     def test_environment_fingerprint_fields(self):
         from repro.experiments.manifest import environment_fingerprint
