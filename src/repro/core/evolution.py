@@ -175,10 +175,10 @@ class GrowthSimulator:
         self._register_attachment_target(core)
 
         # The budget loop runs on the incremental objective engine: customer
-        # attachments are typed moves, so the served-set union-find and the
-        # running install-cost breakdown stay current across periods and
-        # deferred-customer retries reuse that state instead of re-deriving
-        # it from the topology.
+        # attachments are typed moves, so the served-set connectivity engine
+        # and the running install-cost breakdown stay current across periods
+        # and deferred-customer retries reuse that state instead of
+        # re-deriving it from the topology.
         state = IncrementalState(topology, CostObjective(catalog=self.catalog))
 
         trace = GrowthTrace(topology=topology)

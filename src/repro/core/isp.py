@@ -368,7 +368,8 @@ class ISPGenerator:
         incrementally by
         :class:`~repro.optimization.incremental.IncrementalState` under the
         ISP's own objective (the cost delta is O(Δ); the removal half of a
-        rewire pays the engine's one-sweep reachability fallback), and only
+        rewire is an incremental deletion on the engine's dynamic-connectivity
+        structure — polylog, no reachability sweep), and only
         cost-improving rewires are kept (first-improvement hill climbing).
         The refinement summary lands in ``topology.metadata["refinement"]``.
         """

@@ -304,6 +304,9 @@ def run_anneal_pair(
     after = KERNEL_COUNTERS.snapshot()
     delta_evals = after["objective_delta_evals"] - before["objective_delta_evals"]
     full_evals = after["objective_full_evals"] - before["objective_full_evals"]
+    reachability_rebuilds = (
+        after["reachability_rebuilds"] - before["reachability_rebuilds"]
+    )
 
     # -- move-based (audited: full evaluation after every applied move) --
     audited_moves = 0
@@ -339,6 +342,7 @@ def run_anneal_pair(
         "incremental_accepted": incremental.accepted_moves,
         "delta_evals": delta_evals,
         "incremental_full_evals": full_evals,
+        "reachability_rebuilds": reachability_rebuilds,
         "audited_moves": audited_moves,
     }
 
@@ -381,6 +385,11 @@ def expand(smoke: bool) -> List[Task]:
             "size": size,
             "objective": objective,
             "iterations": parameters["anneal_iterations"],
+            # Reachability engine generation: "dynconn" keys the task digests
+            # to the dynamic-connectivity engine so caches from the
+            # sweep-per-deletion era miss cleanly (the payload gained the
+            # reachability_rebuilds field the gates below assert on).
+            "engine": "dynconn",
         }
         for size in parameters["sizes"]
         for objective in parameters["objectives"]
@@ -419,6 +428,10 @@ def check(tables: Tables, smoke: bool) -> None:
         # (the initial rebuild) and thousands of delta evaluations.
         assert row["incremental_full_evals"] <= 2, row
         assert row["delta_evals"] >= 50 * max(1, row["incremental_full_evals"]), row
+        # O(polylog) deletion claim: the move mix is deletion-bearing
+        # (RemoveLink tear-outs), yet the dynamic-connectivity engine never
+        # falls back to a full reachability sweep.
+        assert row["reachability_rebuilds"] == 0, row
         assert row["audited_moves"] > 0, row
     for row in tables["isp_refine"]:
         assert row["improved"], row

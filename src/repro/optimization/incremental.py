@@ -17,11 +17,15 @@ move:
   through :meth:`repro.economics.cost_model.CostModel.link_contribution`, the
   same single source of truth the canonical ``evaluate`` uses, plus node
   equipment costs);
-* the served-customer aggregates (served demand and served revenue) via a
-  **rollback union-find** over node ids whose per-component aggregates record
-  whether the component contains a core and how much customer demand/revenue
-  it holds — link and node additions are O(α(n)) unions, with exact-undo
-  tokens so rejected moves revert in O(1);
+* the served-customer aggregates (served demand and served revenue) via the
+  **fully-dynamic connectivity engine** of :mod:`repro.topology.dynconn` — a
+  Holm–de Lichtenberg–Thorup level-structured spanning forest over Euler-tour
+  trees whose per-component aggregates record whether the component contains
+  a core and how much customer demand/revenue it holds.  Link and node
+  additions are amortized O(log n) tree links, deletions are O(log n) for
+  non-tree edges and a bounded replacement-edge search for tree edges, and
+  every mutation returns an exact-undo token so rejected moves revert in
+  O(log n);
 * customer→core hop distances (for the performance-blended objective) via
   **one** multi-source search on ``Topology.compiled()`` instead of one BFS
   per core, cached per topology version.
@@ -35,18 +39,24 @@ arithmetic), so a revert lands on bit-identical state.
 When the engine falls back to full recomputation
 ------------------------------------------------
 
-* **Deletions** (``RemoveLink`` and the removal half of ``Rewire``): a union-
-  find cannot split, so reachability is rebuilt with one mask-capable
-  component sweep over ``Topology.compiled()`` — O(V + E), still one
-  compiled-graph pass instead of per-core BFS loops.  The undo record keeps a
-  snapshot of the previous union-find, so reverting a deletion is O(V) copies,
-  not a second sweep.
 * **Hop distances**: any structural move invalidates the cached distances;
   the next score of a performance-weighted objective runs one multi-source
   search.  Pure cost/profit objectives never pay this.
 * **Everything else** (unknown objective types, out-of-band topology edits):
   call :meth:`IncrementalState.rebuild`, which is exactly one canonical full
   evaluation.
+
+Deletions used to be on this list: a union-find cannot split, so every
+``RemoveLink``, the removal half of a ``Rewire``, and each ``RemoveLinks``
+cascade batch paid a full O(V+E) component sweep plus an O(V) union-find
+snapshot for its undo.  With the dynamic-connectivity engine that fallback
+is gone — deletions and their undos are polylogarithmic like additions, and
+``KERNEL_COUNTERS.reachability_rebuilds`` (incremented only by the guarded
+legacy sweep) stays at zero, which the E10 and E13 gates assert on
+deletion-bearing move sequences.  Construct with ``use_dynconn=False`` (or
+set ``REPRO_DYNCONN=0``) to fall back to the legacy rollback union-find plus
+per-deletion sweeps — kept as the guarded comparison baseline for the
+``bench_dynamic_connectivity`` trajectory-identity and speedup gates.
 
 ``KERNEL_COUNTERS.objective_full_evals`` counts canonical evaluations (and
 rebuilds); ``KERNEL_COUNTERS.objective_delta_evals`` counts applied moves.
@@ -55,10 +65,12 @@ The E10 benchmark gate asserts delta evaluations dominate.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..topology.compiled import KERNEL_COUNTERS, components_indices
+from ..topology.dynconn import DynamicConnectivity
 from ..topology.graph import Topology, TopologyError
 from ..topology.link import Link, edge_key
 from ..topology.node import NodeRole
@@ -190,13 +202,24 @@ class AddNode(Move):
         state._node_equipment += equipment
         is_customer = self.role == NodeRole.CUSTOMER
         revenue = state._revenue_of(node) if is_customer else 0.0
-        state._reach.add(
-            self.node_id,
-            is_core=self.role == NodeRole.CORE,
-            demand=self.demand if is_customer else 0.0,
-            revenue=revenue,
-        )
-        record.structure_undo.append(lambda: state._reach.discard(self.node_id))
+        if state._dyn is not None:
+            state._dyn.add_vertex(
+                self.node_id,
+                is_core=self.role == NodeRole.CORE,
+                demand=self.demand if is_customer else 0.0,
+                revenue=revenue,
+            )
+            record.structure_undo.append(
+                lambda: state._dyn.remove_vertex(self.node_id)
+            )
+        else:
+            state._reach.add(
+                self.node_id,
+                is_core=self.role == NodeRole.CORE,
+                demand=self.demand if is_customer else 0.0,
+                revenue=revenue,
+            )
+            record.structure_undo.append(lambda: state._reach.discard(self.node_id))
         if is_customer:
             state._total_customer_demand += self.demand
             state._total_customer_revenue += revenue
@@ -421,6 +444,12 @@ class IncrementalState:
         objective: A :class:`~repro.core.objectives.CostObjective`,
             :class:`~repro.core.objectives.ProfitObjective`, or
             :class:`~repro.core.objectives.PerformanceCostObjective`.
+        use_dynconn: ``True`` (default) maintains reachability with the
+            fully-dynamic connectivity engine (polylog deletions, no sweeps);
+            ``False`` selects the legacy rollback union-find whose deletions
+            pay a full component sweep plus an O(V) snapshot.  ``None`` reads
+            the ``REPRO_DYNCONN`` environment variable (``0``/``off``/
+            ``false`` disable).
 
     The state assumes it is the only mutator while a search session runs:
     node demands, roles, and link annotations changed behind its back require
@@ -428,9 +457,19 @@ class IncrementalState:
     float accumulation order (property-tested to 1e-9 relative tolerance).
     """
 
-    def __init__(self, topology: Topology, objective: Any) -> None:
+    def __init__(
+        self, topology: Topology, objective: Any, *, use_dynconn: Optional[bool] = None
+    ) -> None:
         self.topology = topology
         self.objective = objective
+        if use_dynconn is None:
+            use_dynconn = os.environ.get("REPRO_DYNCONN", "1").strip().lower() not in (
+                "0",
+                "off",
+                "false",
+            )
+        self._use_dynconn = bool(use_dynconn)
+        self._dyn: Optional[DynamicConnectivity] = None
         (
             self._cost_model,
             self._demand_penalty,
@@ -462,12 +501,69 @@ class IncrementalState:
             if node.role == NodeRole.CUSTOMER:
                 self._total_customer_demand += node.demand
                 self._total_customer_revenue += self._revenue_of(node)
-        self._rebuild_reachability()
+        if self._use_dynconn:
+            self._rebuild_dynconn()
+        else:
+            self._dyn = None
+            self._rebuild_reachability()
         self._hops_cache: Optional[Tuple[int, float]] = None
         self._undo.clear()
 
+    def _rebuild_dynconn(self) -> None:
+        """Bulk-build the dynamic-connectivity engine — O(V + E), no sweep.
+
+        The initial served aggregates are accumulated in the *canonical*
+        order of the legacy sweep (per-component naive float sums over nodes
+        in insertion order, components summed in first-node order), so the
+        two reachability engines start from bit-identical scalars and any
+        trajectory whose moves never change connectivity stays bitwise
+        engine-independent.
+        """
+        topology = self.topology
+        nodes = topology._nodes  # same-package structural access
+        dyn = DynamicConnectivity()
+
+        def payloads():
+            for node_id, node in nodes.items():
+                if node.role == NodeRole.CUSTOMER:
+                    yield node_id, False, node.demand, self._revenue_of(node)
+                else:
+                    yield node_id, node.role == NodeRole.CORE, 0.0, 0.0
+
+        dyn.build(payloads(), topology.link_keys())
+        self._dyn = dyn
+        comp_demand: Dict[Any, float] = {}
+        comp_revenue: Dict[Any, float] = {}
+        comp_core: Dict[Any, bool] = {}
+        for root, members in dyn.components().items():
+            demand = 0.0
+            revenue = 0.0
+            has_core = False
+            for node_id in members:
+                node = nodes[node_id]
+                if node.role == NodeRole.CUSTOMER:
+                    demand += node.demand
+                    revenue += self._revenue_of(node)
+                has_core = has_core or node.role == NodeRole.CORE
+            comp_demand[root] = demand
+            comp_revenue[root] = revenue
+            comp_core[root] = has_core
+        served_demand = 0.0
+        served_revenue = 0.0
+        for root, has_core in comp_core.items():
+            if has_core:
+                served_demand += comp_demand[root]
+                served_revenue += comp_revenue[root]
+        self._served_demand = served_demand
+        self._served_revenue = served_revenue
+
     def _rebuild_reachability(self) -> None:
         """One compiled-graph component sweep → fresh union-find + aggregates.
+
+        Legacy fallback path (``use_dynconn=False``): the dynamic-connectivity
+        engine never calls this.  Counted as
+        ``KERNEL_COUNTERS.reachability_rebuilds`` — the E10/E13 gates assert
+        the count stays at zero on the default engine.
 
         Refills the state's single long-lived :class:`_ReachabilityIndex`
         **in place**: undo closures from earlier moves hold a reference to
@@ -479,6 +575,7 @@ class IncrementalState:
         rebuild results are backend-identical and the incremental trajectory
         does not depend on whether scipy is installed.
         """
+        KERNEL_COUNTERS.reachability_rebuilds += 1
         topology = self.topology
         graph = topology.compiled()
         labels, count = components_indices(graph)
@@ -571,6 +668,8 @@ class IncrementalState:
 
     def is_served(self, node_id: Any) -> bool:
         """Whether ``node_id``'s component contains a core node."""
+        if self._dyn is not None:
+            return self._dyn.has_core_component(node_id)
         return self._reach.has_core[self._reach.find(node_id)]
 
     def _mean_customer_hops(self) -> float:
@@ -681,6 +780,20 @@ class IncrementalState:
         )
         self._link_install += install
         self._link_usage += usage
+        dyn = self._dyn
+        if dyn is not None:
+            if not dyn.connected(u, v):
+                side_u = dyn.summary(u)
+                side_v = dyn.summary(v)
+                if side_u.has_core and not side_v.has_core:
+                    self._served_demand += side_v.demand
+                    self._served_revenue += side_v.revenue
+                elif side_v.has_core and not side_u.has_core:
+                    self._served_demand += side_u.demand
+                    self._served_revenue += side_u.revenue
+            token = dyn.insert(u, v)
+            record.structure_undo.append(lambda: dyn.undo(token))
+            return
         reach = self._reach
         ra, rb = reach.find(u), reach.find(v)
         if ra != rb:
@@ -736,10 +849,37 @@ class IncrementalState:
             record.structure_undo.append(
                 lambda key=key, old=old_contrib: self._restore_contrib(key, old)
             )
-        # A union-find cannot split: rebuild reachability with one compiled-
-        # graph sweep — shared by the whole batch — and keep the old structure
-        # for an O(V) exact revert.  The restore goes through ``self._reach``
-        # so it lands on whichever index object is current after the rebuild.
+            dyn = self._dyn
+            if dyn is not None:
+                # Polylog deletion: query the doomed edge's component before
+                # the cut, delete (non-tree: O(log n); tree: bounded
+                # replacement search), and re-aggregate only when the
+                # component actually split.  The undo token replays inverse
+                # tree ops, so a rejected deletion reverts in O(log n) — no
+                # sweep, no O(V) snapshot.
+                u, v = link.source, link.target
+                before = dyn.summary(u)
+                token = dyn.delete(u, v)
+                record.structure_undo.append(lambda token=token: dyn.undo(token))
+                if not dyn.connected(u, v):
+                    side_u = dyn.summary(u)
+                    side_v = dyn.summary(v)
+                    if before.has_core:
+                        self._served_demand -= before.demand
+                        self._served_revenue -= before.revenue
+                        if side_u.has_core:
+                            self._served_demand += side_u.demand
+                            self._served_revenue += side_u.revenue
+                        if side_v.has_core:
+                            self._served_demand += side_v.demand
+                            self._served_revenue += side_v.revenue
+        if self._dyn is not None:
+            return
+        # Legacy fallback: a union-find cannot split, so rebuild reachability
+        # with one compiled-graph sweep — shared by the whole batch — and keep
+        # the old structure for an O(V) exact revert.  The restore goes
+        # through ``self._reach`` so it lands on whichever index object is
+        # current after the rebuild.
         snap = self._reach.snapshot()
         record.structure_undo.append(lambda: self._reach.restore(snap))
         self._rebuild_reachability()

@@ -48,8 +48,10 @@ whose load exceeds ``capacity * (1 + headroom)`` (a ``1e-9`` absolute
 tolerance absorbs float accumulation; links without a finite capacity never
 trip).  All overloaded links of a round trip *together*, in ascending edge
 order — the deterministic batch becomes one
-:class:`~repro.optimization.incremental.RemoveLinks` move, so the
-reachability rebuild is paid once per round, not once per link.  Only the
+:class:`~repro.optimization.incremental.RemoveLinks` move, applied as
+incremental deletions on the move engine's dynamic-connectivity structure
+(:mod:`repro.topology.dynconn`) — one bounded replacement-edge search per
+tripped tree edge, never a full reachability sweep.  Only the
 sources that carried flow on a tripped link are re-routed (their retained
 columns are the ones the removals invalidated; on tie-free instances every
 other source's unique shortest paths are untouched, and in ECMP mode the
@@ -947,8 +949,10 @@ def failure_cascade(
     the sources whose flow crossed a tripped link are re-routed), trips every
     link whose load exceeds ``capacity * (1 + headroom)`` in ascending edge
     order, removes the batch through one
-    :class:`~repro.optimization.incremental.RemoveLinks` move (one
-    reachability rebuild per round), and recompiles the degraded graph.
+    :class:`~repro.optimization.incremental.RemoveLinks` move (incremental
+    deletions on the dynamic-connectivity engine — no reachability sweep,
+    ``KERNEL_COUNTERS.reachability_rebuilds`` stays at zero), and recompiles
+    the degraded graph.
     Links without a finite installed capacity (``link.capacity is None``)
     never trip — run :func:`~repro.economics.provisioning.provision_topology`
     first to install capacities.  The cascade terminates because every

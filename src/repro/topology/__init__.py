@@ -5,11 +5,14 @@ Public API:
 * :class:`Topology` — the central annotated graph type.
 * :class:`Node`, :class:`NodeRole`, :class:`Link` — node/link annotations.
 * :class:`TopologyBuilder` — fluent construction helper.
+* :class:`DynamicConnectivity` — HDT fully-dynamic connectivity with exact
+  per-component service aggregates and O(polylog) deletions.
 * :func:`summarize_hierarchy` — WAN/MAN/LAN hierarchy statistics.
 * serialization helpers (``topology_to_dict``, ``save_json``, ``to_networkx``, ...).
 """
 
 from .compiled import CompiledGraph, KERNEL_COUNTERS, KernelCounters
+from .dynconn import ComponentSummary, DynamicConnectivity
 from .graph import Topology, TopologyError, union
 from .link import Link, edge_key
 from .node import Node, NodeRole, ROLE_RANK
@@ -35,6 +38,8 @@ from .serialization import (
 
 __all__ = [
     "CompiledGraph",
+    "ComponentSummary",
+    "DynamicConnectivity",
     "KernelCounters",
     "KERNEL_COUNTERS",
     "Topology",

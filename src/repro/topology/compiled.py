@@ -194,7 +194,13 @@ class KernelCounters:
     per-step diff as ``temporal_resolved_sources`` (unchanged groups reuse
     retained load columns and are *not* counted — the E13 gates assert the
     diff engages instead of silently re-routing everything), and every link
-    tripped by a failure cascade as ``cascade_trips``.
+    tripped by a failure cascade as ``cascade_trips``.  The dynamic
+    connectivity engine (:mod:`repro.topology.dynconn`) records every
+    Euler-tour link/cut as ``dynconn_tree_ops`` and every tree-edge
+    deletion's replacement hunt as ``dynconn_replacement_searches``, while
+    the move engine's guarded fallback records each full O(V+E) component
+    sweep as ``reachability_rebuilds`` — the E10/E13 gates assert the latter
+    stays at zero on deletion-bearing move sequences.
 
     Algorithm-count counters (``single_source``/``multi_source``/``bfs``/
     ``components``) are **backend-independent**: a batch scipy call records
@@ -228,6 +234,9 @@ class KernelCounters:
         "temporal_steps",
         "temporal_resolved_sources",
         "cascade_trips",
+        "dynconn_tree_ops",
+        "dynconn_replacement_searches",
+        "reachability_rebuilds",
     )
 
     def __init__(self) -> None:

@@ -285,6 +285,22 @@ class TestFailureCascade:
         assert cascade.num_rounds == 1
         assert len(cascade.rounds[0].tripped) > 0
 
+    def test_engine_swap_preserves_round_hashes(self, monkeypatch):
+        """The dynamic-connectivity engine is a pure accounting swap: every
+        per-round load hash (and the pinned fixed point) is byte-identical to
+        the legacy sweep engine, and only the legacy engine ever rebuilds."""
+        topo, surge, emap = self.cascade_instance()
+        KERNEL_COUNTERS.reset()
+        dynconn = failure_cascade(topo, surge, endpoint_map=emap, backend="python")
+        assert KERNEL_COUNTERS.snapshot()["reachability_rebuilds"] == 0
+        monkeypatch.setenv("REPRO_DYNCONN", "0")
+        legacy = failure_cascade(topo, surge, endpoint_map=emap, backend="python")
+        assert KERNEL_COUNTERS.snapshot()["reachability_rebuilds"] > 0
+        assert dynconn.step_hashes() == legacy.step_hashes()
+        assert dynconn.tripped_keys == legacy.tripped_keys
+        assert dynconn.served_fraction == legacy.served_fraction
+        assert dynconn.step_hashes()[-1] == PINNED_CASCADE_HASH
+
     def test_cascade_trip_counter(self):
         topo, surge, emap = self.cascade_instance()
         KERNEL_COUNTERS.reset()
